@@ -1,0 +1,153 @@
+// Experiment E3 -- Theorem 1 (the (ε, φ)-expander decomposition).
+//
+// Tables:
+//   E3a  quality per family: cut fraction vs ε, certified component
+//        conductance vs φ_k, Remove-1/2/3 budget split;
+//   E3b  the n^{2/k} knob: rounds for k = 1, 2, 3 on growing SBMs, with
+//        log-log slopes of the Phase 2 related charges;
+//   E3c  ε sweep on one graph: cut fraction tracks the budget.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/xd.hpp"
+
+namespace {
+
+using namespace xd;
+
+expander::DecompositionResult run(const Graph& g, double eps, int k,
+                                  double phi0, Rng& rng,
+                                  congest::RoundLedger& ledger) {
+  expander::DecompositionParams prm;
+  prm.epsilon = eps;
+  prm.k = k;
+  prm.phi0_override = phi0;
+  return expander::expander_decomposition(g, prm, rng, ledger);
+}
+
+}  // namespace
+
+int main() {
+  Rng master(90210);
+
+  Table e3a("E3a: decomposition quality (epsilon = 0.25, k = 2, phi0 = 0.06)",
+            {"family", "comps", "cut frac", "eps", "min cond (cert)",
+             "phi_k", "R1", "R2", "R3", "rounds"});
+  struct Fam {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Fam> fams;
+  {
+    Rng r = master.fork(1);
+    fams.push_back({"SBM(240,4,.4,.005)",
+                    gen::planted_partition(240, 4, 0.4, 0.005, r)});
+  }
+  {
+    Rng r = master.fork(2);
+    fams.push_back({"dumbbell(120,120)",
+                    gen::dumbbell_expanders(120, 120, 4, 2, r)});
+  }
+  {
+    Rng r = master.fork(3);
+    fams.push_back({"regular(300,6)", gen::random_regular(300, 6, r)});
+  }
+  {
+    Rng r = master.fork(4);
+    fams.push_back({"gnp(200,0.08)", gen::gnp(200, 0.08, r)});
+  }
+  fams.push_back({"clique_chain(25,8)", gen::clique_chain(25, 8)});
+
+  for (auto& fam : fams) {
+    Rng rng = master.fork(101 + (&fam - fams.data()));
+    congest::RoundLedger ledger;
+    const auto res = run(fam.g, 0.25, 2, 0.06, rng, ledger);
+    const auto report = expander::verify_decomposition(
+        fam.g, res, 0.25, res.schedule.phi_final());
+    e3a.add_row(
+        {fam.name, Table::cell(static_cast<std::uint64_t>(res.num_components)),
+         Table::cell(report.cut_fraction, 4), Table::cell(0.25, 2),
+         Table::cell(report.min_conductance_lower, 5),
+         Table::cell(res.schedule.phi_final(), 5),
+         Table::cell(res.removed_by[0]), Table::cell(res.removed_by[1]),
+         Table::cell(res.removed_by[2]), Table::cell(res.rounds)});
+  }
+  e3a.print();
+
+  // The n^{2/k} term is Phase 2's worst-case iteration budget (2τ per
+  // level, τ = ((ε/6)Vol)^{1/k}); real workloads sit far below it, so the
+  // table shows both the budget (which scales exactly as n^{2/k}) and the
+  // observed rounds, on "warted expanders" engineered to enter Phase 2
+  // (tiny sparse appendages make every sparse cut unbalanced).
+  Table e3b("E3b: the n^{2/k} knob -- Phase 2 budget vs observed (warted expander)",
+            {"n", "k", "2*tau*k (budget)", "phase2 entries", "singletons",
+             "rounds"});
+  {
+    LogLogFit budget_k1, budget_k2;
+    for (const std::size_t n : {128u, 256u, 512u, 1024u}) {
+      // Expander core + n/32 pendant cliques of size 5.
+      const std::size_t warts = n / 32;
+      Rng rg = master.fork(5000 + n);
+      const Graph core = gen::random_regular(n, 6, rg);
+      GraphBuilder b(n + warts * 5);
+      for (EdgeId e = 0; e < core.num_edges(); ++e) {
+        b.add_edge(core.edge(e).first, core.edge(e).second);
+      }
+      for (std::size_t w = 0; w < warts; ++w) {
+        const auto base = static_cast<VertexId>(n + w * 5);
+        for (VertexId i = 0; i < 5; ++i) {
+          for (VertexId j = i + 1; j < 5; ++j) {
+            b.add_edge(base + i, base + j);
+          }
+        }
+        b.add_edge(base, static_cast<VertexId>(w % n));
+      }
+      const Graph g = b.build();
+
+      for (const int k : {1, 2}) {
+        Rng rng = master.fork(6000 + n * 10 + static_cast<unsigned>(k));
+        congest::RoundLedger ledger;
+        const auto res = run(g, 0.25, k, 0.08, rng, ledger);
+        const double tau =
+            std::pow((0.25 / 6.0) * static_cast<double>(g.volume()),
+                     1.0 / static_cast<double>(k));
+        const double budget = 2.0 * tau * k;
+        e3b.add_row({Table::cell(static_cast<std::uint64_t>(n)),
+                     Table::cell(k),
+                     Table::cell(static_cast<std::uint64_t>(budget)),
+                     Table::cell(res.phase2_entries),
+                     Table::cell(res.singleton_components),
+                     Table::cell(res.rounds)});
+        if (k == 1) budget_k1.add(static_cast<double>(n), budget);
+        if (k == 2) budget_k2.add(static_cast<double>(n), budget);
+      }
+    }
+    e3b.print();
+    std::cout << "log-log slope of the Phase 2 budget vs n:  k=1: "
+              << budget_k1.slope() << "   k=2: " << budget_k2.slope()
+              << "   (theory: Vol^{1/k} -> 1 and 1/2 at constant degree; "
+                 "n^{2/k} worst case at Vol = Theta(n^2))\n\n";
+  }
+
+  Table e3c("E3c: epsilon sweep (SBM(240,4,.4,.005), k = 2, phi0 = 0.06)",
+            {"epsilon", "cut frac", "within budget", "components",
+             "phase2 entries"});
+  {
+    Rng rg = master.fork(31);
+    const Graph g = gen::planted_partition(240, 4, 0.4, 0.005, rg);
+    for (const double eps : {0.08, 0.15, 0.25, 0.4}) {
+      Rng rng = master.fork(static_cast<std::uint64_t>(3000 + eps * 100));
+      congest::RoundLedger ledger;
+      const auto res = run(g, eps, 2, 0.06, rng, ledger);
+      const auto report = expander::verify_decomposition(
+          g, res, eps, res.schedule.phi_final());
+      e3c.add_row({Table::cell(eps, 2), Table::cell(report.cut_fraction, 4),
+                   report.cut_within_epsilon ? "yes" : "NO",
+                   Table::cell(static_cast<std::uint64_t>(res.num_components)),
+                   Table::cell(res.phase2_entries)});
+    }
+  }
+  e3c.print();
+  return 0;
+}

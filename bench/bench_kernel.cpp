@@ -1,0 +1,95 @@
+// Experiment E8 -- simulator micro-benchmarks (google-benchmark): how fast
+// the kernel executes exchanges, diffusion steps, BFS waves, and the MPX
+// clustering.  These bound the experiment scales everything else can reach.
+
+#include <benchmark/benchmark.h>
+
+#include "core/xd.hpp"
+
+namespace {
+
+using namespace xd;
+
+void BM_ExchangeFlood(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Graph g = gen::random_regular(n, 6, rng);
+  congest::RoundLedger ledger;
+  congest::Network net(g, ledger, 3);
+  for (auto _ : state) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto nbrs = g.neighbors(v);
+      for (std::uint32_t s = 0; s < nbrs.size(); ++s) {
+        net.send(v, s, congest::Message{1, v});
+      }
+    }
+    benchmark::DoNotOptimize(net.exchange("bench"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.volume()));
+}
+BENCHMARK(BM_ExchangeFlood)->Arg(1000)->Arg(4000);
+
+void BM_TruncatedStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Graph g = gen::random_regular(n, 6, rng);
+  auto dist = spectral::SparseDist::point(0);
+  // Pre-spread so the step works on a realistic support.
+  for (int t = 0; t < 8; ++t) dist = spectral::truncated_step(g, dist, 1e-7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectral::truncated_step(g, dist, 1e-7));
+  }
+}
+BENCHMARK(BM_TruncatedStep)->Arg(1000)->Arg(4000);
+
+void BM_BfsForest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Graph g = gen::random_regular(n, 6, rng);
+  const std::vector<char> active(n, 1);
+  for (auto _ : state) {
+    congest::RoundLedger ledger;
+    congest::Network net(g, ledger, 5);
+    benchmark::DoNotOptimize(prim::build_forest(net, active, "bench"));
+  }
+}
+BENCHMARK(BM_BfsForest)->Arg(1000)->Arg(4000);
+
+void BM_MpxClustering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen::random_regular(n, 6, rng);
+  for (auto _ : state) {
+    congest::RoundLedger ledger;
+    congest::Network net(g, ledger, 7);
+    benchmark::DoNotOptimize(ldd::mpx_clustering(net, 0.3, "bench"));
+  }
+}
+BENCHMARK(BM_MpxClustering)->Arg(1000)->Arg(4000);
+
+void BM_SweepCut(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Graph g = gen::random_regular(n, 6, rng);
+  std::vector<double> rho(n);
+  for (auto& x : rho) x = rng.next_double();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectral::sweep_cut(g, rho));
+  }
+}
+BENCHMARK(BM_SweepCut)->Arg(1000)->Arg(4000);
+
+void BM_TriangleGroundTruth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Graph g = gen::gnp(n, 0.3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(triangle_count_exact(g));
+  }
+}
+BENCHMARK(BM_TriangleGroundTruth)->Arg(200)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Experiment E1 -- Theorem 4 (low-diameter decomposition) and Lemma 12
+// (MPX per-edge cut probability).
+//
+// Tables:
+//   E1a  per (family, β): cut edges vs the β|E| budget and max component
+//        diameter vs the O(log²n/β²) bound, plus the guard's V_D share and
+//        simulated rounds;
+//   E1b  guard ablation: full pipeline vs plain MPX on a graph where the
+//        guard uncuts dense regions;
+//   E1c  Lemma 12: measured per-edge cut probability across seeds vs 2β.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/xd.hpp"
+
+namespace {
+
+using namespace xd;
+
+struct Family {
+  const char* name;
+  Graph graph;
+};
+
+}  // namespace
+
+int main() {
+  Rng master(2026);
+
+  std::vector<Family> families;
+  families.push_back({"cycle(20000)", gen::cycle(20000)});
+  families.push_back({"torus(64x64)", gen::grid(64, 64, true)});
+  {
+    Rng r = master.fork(1);
+    families.push_back({"regular(2000,6)", gen::random_regular(2000, 6, r)});
+  }
+  families.push_back({"clique_chain(150,8)", gen::clique_chain(150, 8)});
+  families.push_back({"binary_tree(12)", gen::binary_tree(12)});
+
+  Table e1a("E1a: Theorem 4 guarantees (cut <= beta*m, diam <= O(log^2 n/beta^2))",
+            {"family", "beta", "m", "cut", "budget", "diam", "diam bound",
+             "V_D frac", "rounds"});
+  for (const auto& fam : families) {
+    for (const double beta : {0.3, 0.6, 0.9}) {
+      congest::RoundLedger ledger;
+      congest::Network net(fam.graph, ledger, 11);
+      Rng rng = master.fork(static_cast<std::uint64_t>(beta * 100));
+      ldd::LddParams prm;
+      prm.beta = beta;
+      prm.K = 1.0;
+      const auto res = ldd::low_diameter_decomposition(net, prm, rng);
+      const double logn =
+          std::log(static_cast<double>(fam.graph.num_vertices()));
+      std::size_t vd = 0;
+      for (char c : res.guard.in_vd) vd += c;
+      e1a.add_row(
+          {fam.name, Table::cell(beta, 2),
+           Table::cell(static_cast<std::uint64_t>(fam.graph.num_edges())),
+           Table::cell(res.num_cut_edges),
+           Table::cell(static_cast<std::uint64_t>(beta * fam.graph.num_edges())),
+           Table::cell(static_cast<std::uint64_t>(
+               ldd::max_component_diameter(fam.graph, res))),
+           Table::cell(static_cast<std::uint64_t>(150.0 * logn * logn /
+                                                  (beta * beta))),
+           Table::cell(static_cast<double>(vd) / fam.graph.num_vertices(), 2),
+           Table::cell(res.rounds)});
+    }
+  }
+  e1a.print();
+
+  Table e1b("E1b: guard ablation (clique_chain(150,8), beta=0.5)",
+            {"pipeline", "cut edges", "components", "max diameter"});
+  {
+    const Graph& g = families[3].graph;
+    for (const bool guard : {true, false}) {
+      congest::RoundLedger ledger;
+      congest::Network net(g, ledger, 23);
+      Rng rng = master.fork(guard ? 77 : 78);
+      ldd::LddParams prm;
+      prm.beta = 0.5;
+      prm.use_guard = guard;
+      const auto res = ldd::low_diameter_decomposition(net, prm, rng);
+      e1b.add_row({guard ? "Theorem 4 (V_D/V_S guard)" : "plain MPX",
+                   Table::cell(res.num_cut_edges),
+                   Table::cell(static_cast<std::uint64_t>(res.num_components)),
+                   Table::cell(static_cast<std::uint64_t>(
+                       ldd::max_component_diameter(g, res)))});
+    }
+  }
+  e1b.print();
+
+  Table e1c("E1c: Lemma 12 -- MPX cut probability <= 2*beta (20 seeds)",
+            {"family", "beta", "mean cut frac", "max cut frac", "2*beta"});
+  {
+    Rng r = master.fork(5);
+    const Graph g = gen::random_regular(1500, 4, r);
+    for (const double beta : {0.1, 0.2, 0.4}) {
+      Summary frac;
+      for (int seed = 0; seed < 20; ++seed) {
+        congest::RoundLedger ledger;
+        congest::Network net(g, ledger, 1000 + seed);
+        const auto c = ldd::mpx_clustering(net, beta, "mpx");
+        frac.add(static_cast<double>(c.inter_cluster_edges(g)) /
+                 static_cast<double>(g.num_edges()));
+      }
+      e1c.add_row({"regular(1500,4)", Table::cell(beta, 2),
+                   Table::cell(frac.mean(), 4), Table::cell(frac.max(), 4),
+                   Table::cell(2 * beta, 2)});
+    }
+  }
+  e1c.print();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E6 -- the Nibble machinery (Appendix A).
+//
+// Tables:
+//   E6a  Lemma 3: Vol of the touched set vs the (t0+1)/(2 eps_b) bound,
+//        across scales b;
+//   E6b  Lemma 6 shape: E[Vol(C ∩ S)] >= Vol(S)/(8 Vol(V)) for RandomNibble
+//        on a graph with a planted sparse cut S (statistical);
+//   E6c  distributed-vs-centralized diffusion: the kernel-executed walk
+//        matches the orchestrated one bit-for-bit (count of diverging
+//        entries across steps; must be 0).
+
+#include <cmath>
+#include <iostream>
+
+#include "core/xd.hpp"
+
+int main() {
+  using namespace xd;
+  using namespace xd::sparsecut;
+  Rng master(808);
+
+  Table e6a("E6a: Lemma 3 -- touched volume vs (t0+1)/(2 eps_b)",
+            {"b", "eps_b", "max Vol(touched)", "bound", "within"});
+  {
+    Rng r = master.fork(1);
+    const Graph g = gen::dumbbell_expanders(150, 150, 4, 2, r);
+    const auto prm = NibbleParams::practical(0.05, g.num_edges(), g.volume());
+    for (int b = 1; b <= std::min(prm.ell, 8); ++b) {
+      Summary vol_touched;
+      for (int trial = 0; trial < 5; ++trial) {
+        Rng rt = master.fork(100 + b * 10 + trial);
+        const VertexId start = sample_by_degree(g, rt);
+        const auto res = approximate_nibble(g, start, prm, b);
+        std::uint64_t vol = 0;
+        for (VertexId v : res.touched) vol += g.degree(v);
+        vol_touched.add(static_cast<double>(vol));
+      }
+      const double bound = (prm.t0 + 1.0) / (2.0 * prm.eps_b(b));
+      e6a.add_row({Table::cell(b), Table::cell(prm.eps_b(b), 9),
+                   Table::cell(vol_touched.max(), 0), Table::cell(bound, 0),
+                   vol_touched.max() <= bound ? "yes" : "NO"});
+    }
+  }
+  e6a.print();
+
+  Table e6b("E6b: Lemma 6 -- E[Vol(C ∩ S)] vs Vol(S)/(8 Vol(V)) "
+            "(RandomNibble, 60 trials)",
+            {"graph", "mean Vol(C∩S)", "lower bound", "hit rate"});
+  {
+    Rng r = master.fork(2);
+    const Graph g = gen::dumbbell_expanders(100, 100, 4, 2, r);
+    std::vector<VertexId> left;
+    for (VertexId v = 0; v < 100; ++v) left.push_back(v);
+    const VertexSet s(std::move(left));
+    const auto mask = s.bitmap(g.num_vertices());
+    const auto prm = NibbleParams::practical(0.03, g.num_edges(), g.volume());
+
+    Summary overlap;
+    int hits = 0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      Rng rt = master.fork(500 + t);
+      const auto res = random_nibble(g, prm, rt);
+      std::uint64_t vol = 0;
+      if (res.inner.found()) {
+        for (VertexId v : res.inner.cut) {
+          if (mask[v]) vol += g.degree(v);
+        }
+        ++hits;
+      }
+      overlap.add(static_cast<double>(vol));
+    }
+    const double bound = static_cast<double>(volume(g, s)) /
+                         (8.0 * static_cast<double>(g.volume()));
+    e6b.add_row({"dumbbell(100,100)", Table::cell(overlap.mean(), 2),
+                 Table::cell(bound, 2),
+                 Table::cell(static_cast<double>(hits) / trials, 2)});
+  }
+  e6b.print();
+
+  Table e6c("E6c: kernel diffusion == orchestrated diffusion (exact match)",
+            {"graph", "steps compared", "support mismatches",
+             "mass mismatches", "kernel rounds"});
+  {
+    struct Case {
+      const char* name;
+      Graph g;
+    };
+    std::vector<Case> cases;
+    {
+      Rng r = master.fork(3);
+      cases.push_back({"gnp(150, .05)", gen::gnp(150, 0.05, r)});
+    }
+    {
+      Rng r = master.fork(4);
+      cases.push_back({"dumbbell(60,60)",
+                       gen::dumbbell_expanders(60, 60, 4, 2, r)});
+    }
+    for (auto& c : cases) {
+      congest::RoundLedger ledger;
+      congest::Network net(c.g, ledger, 9);
+      const double eps = 1e-6;
+      const int steps = 60;
+      const auto dist_walk =
+          distributed_truncated_walk(net, 0, steps, eps, "E6c");
+      const auto cent_walk = spectral::truncated_walk(c.g, 0, steps, eps);
+      std::size_t support_mismatch = 0;
+      std::size_t mass_mismatch = 0;
+      const std::size_t common = std::min(dist_walk.size(), cent_walk.size());
+      support_mismatch +=
+          dist_walk.size() > common ? dist_walk.size() - common : 0;
+      support_mismatch +=
+          cent_walk.size() > common ? cent_walk.size() - common : 0;
+      for (std::size_t t = 0; t < common; ++t) {
+        if (dist_walk[t].support != cent_walk[t].support) {
+          ++support_mismatch;
+          continue;
+        }
+        for (std::size_t i = 0; i < dist_walk[t].size(); ++i) {
+          if (dist_walk[t].mass[i] != cent_walk[t].mass[i]) ++mass_mismatch;
+        }
+      }
+      e6c.add_row({c.name, Table::cell(static_cast<std::uint64_t>(common)),
+                   Table::cell(static_cast<std::uint64_t>(support_mismatch)),
+                   Table::cell(static_cast<std::uint64_t>(mass_mismatch)),
+                   Table::cell(ledger.rounds())});
+    }
+  }
+  e6c.print();
+  return 0;
+}

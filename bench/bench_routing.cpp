@@ -1,0 +1,90 @@
+// Experiment E5 -- the GKS routing trade-off (§3).
+//
+// Tables:
+//   E5a  depth k vs (preprocessing, query) cost on an expander: the
+//        o(n^{1/3})-preprocessing / polylog-query sweet spot the paper's
+//        Theorem 2 exploits, including where the polylog^k term turns
+//        preprocessing back up;
+//   E5b  TreeRouter cross-check: measured store-and-forward makespan for a
+//        deg-bounded batch vs the model's query cost, on graphs of varying
+//        mixing time.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/xd.hpp"
+
+int main() {
+  using namespace xd;
+  Rng master(555);
+
+  Table e5a("E5a: GKS trade-off on regular(4096, 8) (tau_mix measured)",
+            {"depth k", "beta=m^{1/k}", "preprocess", "query",
+             "n^{1/3} (ref)"});
+  {
+    Rng r = master.fork(1);
+    const Graph g = gen::random_regular(4096, 8, r);
+    const double n13 = std::cbrt(4096.0);
+    for (int k = 1; k <= 5; ++k) {
+      congest::RoundLedger ledger;
+      routing::HierarchicalParams prm;
+      prm.depth = k;
+      routing::HierarchicalRouter router(g, ledger, prm);
+      router.preprocess();
+      e5a.add_row({Table::cell(k),
+                   Table::cell(std::pow(static_cast<double>(g.num_edges()),
+                                        1.0 / k),
+                               1),
+                   Table::cell(router.preprocessing_cost()),
+                   Table::cell(router.query_cost()), Table::cell(n13, 1)});
+    }
+  }
+  e5a.print();
+
+  Table e5b("E5b: TreeRouter measured makespan vs GKS query model "
+            "(permutation batch, one message per vertex)",
+            {"graph", "tau_mix", "tree makespan", "gks query (k=2)"});
+  {
+    struct Case {
+      const char* name;
+      Graph g;
+    };
+    std::vector<Case> cases;
+    {
+      Rng r = master.fork(10);
+      cases.push_back({"regular(256,8)", gen::random_regular(256, 8, r)});
+    }
+    {
+      Rng r = master.fork(11);
+      cases.push_back({"regular(256,4)", gen::random_regular(256, 4, r)});
+    }
+    cases.push_back({"torus(16x16)", gen::grid(16, 16, true)});
+    cases.push_back({"cycle(256)", gen::cycle(256)});
+
+    for (auto& c : cases) {
+      const std::size_t n = c.g.num_vertices();
+      congest::RoundLedger ledger;
+      congest::Network net(c.g, ledger, 77);
+      routing::TreeRouter tree(net);
+      tree.preprocess();
+      // Random permutation demands: each vertex sends one message.
+      Rng r = master.fork(20 + (&c - cases.data()));
+      const auto perm = r.permutation(n);
+      std::vector<routing::Demand> demands;
+      for (VertexId v = 0; v < n; ++v) {
+        demands.push_back(routing::Demand{v, perm[v], 1});
+      }
+      const auto makespan = tree.route(demands);
+
+      congest::RoundLedger mledger;
+      routing::HierarchicalParams prm;
+      prm.depth = 2;
+      routing::HierarchicalRouter model(c.g, mledger, prm);
+      model.preprocess();
+      e5b.add_row({c.name, Table::cell(static_cast<std::uint64_t>(model.tau_mix())),
+                   Table::cell(makespan), Table::cell(model.query_cost())});
+    }
+  }
+  e5b.print();
+  return 0;
+}

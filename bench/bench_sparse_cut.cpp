@@ -1,0 +1,100 @@
+// Experiment E2 -- Theorem 3 (nearly most balanced sparse cut).
+//
+// Tables:
+//   E2a  planted dumbbell cuts across balances: found conductance vs the
+//        h(φ) contract and found balance vs the min{b/2, 1/48} guarantee;
+//   E2b  conductance sweep: what the stack certifies as "no cut" vs φ;
+//   E2c  round scaling vs diameter (the O(D poly) term) on dumbbells whose
+//        bridges are stretched into paths.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/xd.hpp"
+
+int main() {
+  using namespace xd;
+  using sparsecut::Preset;
+  Rng master(4711);
+
+  Table e2a("E2a: balance recovery on planted cuts (phi = 0.02)",
+            {"n1:n2", "planted phi", "planted bal", "found phi", "found bal",
+             "bal target", "h(phi) bound", "rounds"});
+  for (const auto& [n1, n2] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {100, 100}, {120, 80}, {150, 50}, {180, 20}, {190, 10}}) {
+    Rng rng = master.fork(n1 * 1000 + n2);
+    const Graph g = gen::dumbbell_expanders(n1, n2, 4, 2, rng);
+    std::vector<VertexId> left;
+    for (VertexId v = 0; v < n1; ++v) left.push_back(v);
+    const VertexSet planted(std::move(left));
+    const double b = balance(g, planted);
+
+    congest::RoundLedger ledger;
+    const double phi = 0.02;
+    const auto res = sparsecut::nearly_most_balanced_sparse_cut(
+        g, phi, Preset::kPractical, rng, ledger);
+    const double bound = sparsecut::theorem3_conductance_bound(
+        phi, g.num_edges(), g.volume(), Preset::kPractical);
+    e2a.add_row({std::to_string(n1) + ":" + std::to_string(n2),
+                 Table::cell(conductance(g, planted), 4), Table::cell(b, 3),
+                 res.found() ? Table::cell(res.conductance, 4) : "none",
+                 Table::cell(res.balance, 3),
+                 Table::cell(std::min(b / 2.0, 1.0 / 48.0), 3),
+                 Table::cell(bound, 3), Table::cell(res.rounds)});
+  }
+  e2a.print();
+
+  Table e2b("E2b: certification sweep on a fixed dumbbell (planted phi ~ 0.01)",
+            {"target phi", "found", "found phi", "found bal", "iterations"});
+  {
+    Rng rng = master.fork(99);
+    const Graph g = gen::dumbbell_expanders(120, 120, 4, 2, rng);
+    for (const double phi : {0.002, 0.005, 0.012, 0.03, 0.08, 0.2}) {
+      Rng r = master.fork(static_cast<std::uint64_t>(phi * 1e6));
+      congest::RoundLedger ledger;
+      const auto res = sparsecut::nearly_most_balanced_sparse_cut(
+          g, phi, Preset::kPractical, r, ledger);
+      e2b.add_row({Table::cell(phi, 3), res.found() ? "yes" : "no",
+                   res.found() ? Table::cell(res.conductance, 4) : "-",
+                   res.found() ? Table::cell(res.balance, 3) : "-",
+                   Table::cell(res.iterations)});
+    }
+  }
+  e2b.print();
+
+  Table e2c("E2c: rounds vs diameter (expanders joined by a stretched path)",
+            {"bridge length", "diameter", "rounds", "rounds/diam"});
+  for (const std::size_t stretch : {1u, 8u, 32u, 96u}) {
+    Rng rng = master.fork(7000 + stretch);
+    // Two expanders joined by a path of `stretch` extra vertices.
+    Rng r1 = rng.fork(1), r2 = rng.fork(2);
+    const Graph a = gen::random_regular(80, 4, r1);
+    const Graph b = gen::random_regular(80, 4, r2);
+    GraphBuilder builder(160 + stretch);
+    for (EdgeId e = 0; e < a.num_edges(); ++e) {
+      builder.add_edge(a.edge(e).first, a.edge(e).second);
+    }
+    for (EdgeId e = 0; e < b.num_edges(); ++e) {
+      builder.add_edge(b.edge(e).first + 80, b.edge(e).second + 80);
+    }
+    VertexId prev = 0;
+    for (std::size_t i = 0; i < stretch; ++i) {
+      const auto mid = static_cast<VertexId>(160 + i);
+      builder.add_edge(prev, mid);
+      prev = mid;
+    }
+    builder.add_edge(prev, 80);
+    const Graph g = builder.build();
+
+    congest::RoundLedger ledger;
+    const auto res = sparsecut::nearly_most_balanced_sparse_cut(
+        g, 0.02, Preset::kPractical, rng, ledger);
+    const auto diam = diameter_double_sweep(g);
+    e2c.add_row({Table::cell(static_cast<std::uint64_t>(stretch)),
+                 Table::cell(static_cast<std::uint64_t>(diam)),
+                 Table::cell(res.rounds),
+                 Table::cell(static_cast<double>(res.rounds) / diam, 1)});
+  }
+  e2c.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Community detection via expander decomposition: the intro's motivating
+// use case.  Generates a stochastic block model, decomposes it, and scores
+// the recovered components against the planted communities.
+//
+//   $ ./community_detection [n] [blocks] [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/xd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xd;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 160;
+  const int blocks = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  const Graph g = gen::planted_partition(n, blocks, 0.5, 0.02, rng);
+  auto block_of = [&](VertexId v) {
+    return static_cast<int>(static_cast<std::size_t>(v) *
+                            static_cast<std::size_t>(blocks) / n);
+  };
+  std::cout << "SBM: n=" << n << " blocks=" << blocks << " m=" << g.num_edges()
+            << "\n";
+
+  expander::DecompositionParams prm;
+  prm.epsilon = 0.3;
+  prm.k = 1;
+  prm.phi0_override = 0.08;  // split at the inter-block conductance scale
+  congest::RoundLedger ledger;
+  const auto decomp = expander::expander_decomposition(g, prm, rng, ledger);
+
+  // Score: for every planted block, the fraction of its vertices landing in
+  // the block's majority component.
+  std::map<int, std::map<std::uint32_t, int>> votes;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++votes[block_of(v)][decomp.component[v]];
+  }
+  Table table("community recovery", {"block", "size", "majority comp",
+                                     "purity"});
+  double total_purity = 0;
+  for (const auto& [block, counts] : votes) {
+    int size = 0;
+    int best = 0;
+    std::uint32_t best_comp = 0;
+    for (const auto& [comp, c] : counts) {
+      size += c;
+      if (c > best) {
+        best = c;
+        best_comp = comp;
+      }
+    }
+    const double purity = static_cast<double>(best) / size;
+    total_purity += purity;
+    table.add_row({Table::cell(block), Table::cell(size),
+                   Table::cell(static_cast<std::uint64_t>(best_comp)),
+                   Table::cell(purity, 3)});
+  }
+  table.print();
+  std::cout << "components=" << decomp.num_components
+            << " rounds=" << decomp.rounds
+            << " mean purity=" << total_purity / blocks << "\n";
+  return total_purity / blocks > 0.8 ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "congest/clique.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xd::congest {
+
+CliqueNetwork::CliqueNetwork(std::size_t n, RoundLedger& ledger)
+    : n_(n), ledger_(&ledger), inboxes_(n) {}
+
+void CliqueNetwork::send(VertexId from, VertexId to, const Message& msg) {
+  XD_CHECK(from < n_ && to < n_);
+  XD_CHECK_MSG(from != to, "clique self-sends are local computation");
+  outbox_.push_back(Staged{from, to, msg});
+}
+
+std::uint64_t CliqueNetwork::exchange_lenzen(std::string_view reason) {
+  std::vector<std::uint64_t> sent(n_, 0);
+  std::vector<std::uint64_t> received(n_, 0);
+  for (const Staged& s : outbox_) {
+    ++sent[s.from];
+    ++received[s.to];
+  }
+  std::uint64_t worst = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    worst = std::max(worst, std::max(sent[v], received[v]));
+  }
+  const std::uint64_t unit = std::max<std::size_t>(n_ - 1, 1);
+  const std::uint64_t rounds = std::max<std::uint64_t>(
+      (worst + unit - 1) / unit, 1);
+
+  for (auto& inbox : inboxes_) inbox.clear();
+  for (const Staged& s : outbox_) {
+    inboxes_[s.to].push_back(Envelope{s.from, s.msg});
+  }
+  ledger_->count_messages(outbox_.size());
+  outbox_.clear();
+  ledger_->charge(rounds, reason);
+  return rounds;
+}
+
+std::uint64_t CliqueNetwork::exchange(std::string_view reason) {
+  for (auto& inbox : inboxes_) inbox.clear();
+
+  std::uint64_t max_congestion = 0;
+  if (!outbox_.empty()) {
+    std::vector<std::uint64_t> pairs(outbox_.size());
+    for (std::size_t i = 0; i < outbox_.size(); ++i) {
+      pairs[i] = (static_cast<std::uint64_t>(outbox_[i].from) << 32) |
+                 outbox_[i].to;
+    }
+    std::sort(pairs.begin(), pairs.end());
+    std::uint64_t run = 1;
+    max_congestion = 1;
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      run = pairs[i] == pairs[i - 1] ? run + 1 : 1;
+      max_congestion = std::max(max_congestion, run);
+    }
+  }
+
+  for (const Staged& s : outbox_) {
+    inboxes_[s.to].push_back(Envelope{s.from, s.msg});
+  }
+  ledger_->count_messages(outbox_.size());
+  outbox_.clear();
+
+  const std::uint64_t rounds = std::max<std::uint64_t>(max_congestion, 1);
+  ledger_->charge(rounds, reason);
+  return rounds;
+}
+
+}  // namespace xd::congest

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file clique.hpp
+/// CONGESTED-CLIQUE kernel: n vertices with all-to-all O(log n)-bit channels.
+///
+/// Used by the Dolev–Lenzen–Peled deterministic triangle-enumeration
+/// baseline (§3 of the paper compares CONGEST against this model's
+/// Θ(n^{1/3}/log n) bound).  The charging rule mirrors Network: one staged
+/// batch is delivered in max(1, max ordered-pair congestion) rounds, since
+/// each ordered pair (u, v) carries one bounded message per round.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "congest/message.hpp"
+
+namespace xd::congest {
+
+/// All-to-all round-synchronous network on n vertices.
+class CliqueNetwork {
+ public:
+  CliqueNetwork(std::size_t n, RoundLedger& ledger);
+
+  [[nodiscard]] std::size_t num_vertices() const { return n_; }
+
+  /// Stage a message from `from` to `to` (any pair, from != to).
+  void send(VertexId from, VertexId to, const Message& msg);
+
+  /// Deliver staged messages; charge max(1, max per-ordered-pair message
+  /// count) rounds under `reason`.  Returns rounds charged.
+  std::uint64_t exchange(std::string_view reason);
+
+  /// Deliver staged messages charging Lenzen-routing rounds:
+  /// max over vertices of ⌈max(sent, received) / (n-1)⌉.  Lenzen's
+  /// deterministic routing delivers any such pattern in O(1) rounds per
+  /// (n-1)-message unit; this is what gives Dolev–Lenzen–Peled its
+  /// O(n^{1/3}) bound, so the DLP baseline uses this exchange.
+  std::uint64_t exchange_lenzen(std::string_view reason);
+
+  [[nodiscard]] std::span<const Envelope> inbox(VertexId v) const {
+    return inboxes_[v];
+  }
+
+ private:
+  struct Staged {
+    VertexId from;
+    VertexId to;
+    Message msg;
+  };
+
+  std::size_t n_;
+  RoundLedger* ledger_;
+  std::vector<Staged> outbox_;
+  std::vector<std::vector<Envelope>> inboxes_;
+};
+
+}  // namespace xd::congest

@@ -1,0 +1,32 @@
+#include "congest/ledger.hpp"
+
+#include <sstream>
+
+namespace xd::congest {
+
+void RoundLedger::charge(std::uint64_t rounds, std::string_view reason) {
+  rounds_ += rounds;
+  by_reason_[std::string(reason)] += rounds;
+}
+
+std::uint64_t RoundLedger::rounds_for(std::string_view reason) const {
+  const auto it = by_reason_.find(std::string(reason));
+  return it == by_reason_.end() ? 0 : it->second;
+}
+
+std::string RoundLedger::report() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds_ << " messages=" << messages_ << "\n";
+  for (const auto& [label, rounds] : by_reason_) {
+    os << "  " << label << ": " << rounds << "\n";
+  }
+  return os.str();
+}
+
+void RoundLedger::reset() {
+  rounds_ = 0;
+  messages_ = 0;
+  by_reason_.clear();
+}
+
+}  // namespace xd::congest

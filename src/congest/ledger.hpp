@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file ledger.hpp
+/// Round and message accounting.
+///
+/// Every simulated communication step charges rounds here, labeled with the
+/// lemma/phase it implements, so a bench can both report the total and
+/// explain where it went.  The charging rules are documented in DESIGN.md §2:
+/// a kernel exchange that multiplexes c messages over the most loaded
+/// directed edge costs c rounds (bandwidth is one message per edge per
+/// round); orchestrated control-flow decisions charge the broadcast /
+/// convergecast depth of the tree they would run over.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace xd::congest {
+
+/// Accumulates simulated CONGEST rounds and message counts by category.
+class RoundLedger {
+ public:
+  /// Adds `rounds` simulated rounds attributed to `reason`.
+  void charge(std::uint64_t rounds, std::string_view reason);
+
+  /// Adds to the global message counter (no rounds).
+  void count_messages(std::uint64_t messages) { messages_ += messages; }
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+  /// Rounds charged under a specific label so far.
+  [[nodiscard]] std::uint64_t rounds_for(std::string_view reason) const;
+
+  /// Per-label breakdown, sorted by label.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& breakdown() const {
+    return by_reason_;
+  }
+
+  /// Human-readable multi-line report.
+  [[nodiscard]] std::string report() const;
+
+  /// Resets all counters.
+  void reset();
+
+ private:
+  std::uint64_t rounds_ = 0;
+  std::uint64_t messages_ = 0;
+  std::map<std::string, std::uint64_t> by_reason_;
+};
+
+}  // namespace xd::congest

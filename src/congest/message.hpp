@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file message.hpp
+/// The CONGEST message type.
+///
+/// CONGEST allows each vertex to send one distinct O(log n)-bit message per
+/// neighbor per round.  We enforce the size cap *by construction*: a Message
+/// is a 32-bit tag plus two 64-bit payload words -- 160 bits, which is
+/// O(log n) for every graph this simulator can hold (n <= 2^32).  Anything
+/// that cannot be squeezed into a Message must be split across rounds, and
+/// the RoundLedger will charge accordingly.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "graph/graph.hpp"
+
+namespace xd::congest {
+
+/// A single bounded-size message.
+struct Message {
+  /// Algorithm-defined discriminator (which sub-protocol this belongs to).
+  std::uint32_t tag = 0;
+  /// Two machine words of payload.  Fixed size == the model's O(log n) cap.
+  std::array<std::uint64_t, 2> words{0, 0};
+
+  Message() = default;
+  Message(std::uint32_t t, std::uint64_t w0, std::uint64_t w1 = 0)
+      : tag(t), words{w0, w1} {}
+
+  /// Bit-packs a double into word `i` (diffusion algorithms ship one
+  /// fixed-point probability per message; a 64-bit encoding is O(log n)
+  /// bits at the paper's precision ε_b >= 1/poly(n)).
+  void set_double(int i, double v) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    words[static_cast<std::size_t>(i)] = bits;
+  }
+
+  [[nodiscard]] double get_double(int i) const {
+    double v;
+    const std::uint64_t bits = words[static_cast<std::size_t>(i)];
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// A delivered message: payload plus provenance.
+struct Envelope {
+  VertexId from = 0;  ///< sender
+  Message msg;
+};
+
+}  // namespace xd::congest

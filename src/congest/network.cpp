@@ -1,0 +1,93 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xd::congest {
+
+Network::Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed)
+    : graph_(&graph), ledger_(&ledger), inboxes_(graph.num_vertices()) {
+  Rng master(seed);
+  rngs_.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    rngs_.push_back(master.fork(v));
+  }
+}
+
+void Network::send(VertexId from, std::uint32_t slot, const Message& msg) {
+  XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
+  XD_CHECK_MSG(slot < graph_->degree(from),
+               "slot " << slot << " out of range for vertex " << from);
+  const VertexId to = graph_->neighbors(from)[slot];
+  XD_CHECK_MSG(to != from, "cannot send over a self-loop slot");
+  // Directed slot index: position of this slot in the global CSR layout.
+  // Unique per (from, slot) pair, which is exactly per directed edge use.
+  const std::uint32_t directed_slot = graph_->slot_base(from) + slot;
+  outbox_.push_back(Staged{from, to, directed_slot, msg});
+  ++staged_count_;
+}
+
+void Network::send_to(VertexId from, VertexId to, const Message& msg) {
+  auto nbrs = graph_->neighbors(from);
+  for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+    if (nbrs[slot] == to && to != from) {
+      send(from, slot, msg);
+      return;
+    }
+  }
+  XD_CHECK_MSG(false, "send_to: {" << from << "," << to << "} is not an edge");
+}
+
+std::uint64_t Network::exchange(std::string_view reason) {
+  return do_exchange(reason, /*has_override=*/false, 0);
+}
+
+std::uint64_t Network::exchange_charging(std::string_view reason,
+                                         std::uint64_t rounds_override) {
+  return do_exchange(reason, /*has_override=*/true, rounds_override);
+}
+
+std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
+                                   std::uint64_t rounds_override) {
+  for (auto& inbox : inboxes_) inbox.clear();
+
+  // Congestion = messages per directed slot; rounds = max over slots.
+  std::uint64_t max_congestion = 0;
+  if (!outbox_.empty()) {
+    std::vector<std::uint32_t> slots(outbox_.size());
+    for (std::size_t i = 0; i < outbox_.size(); ++i) {
+      slots[i] = outbox_[i].directed_slot;
+    }
+    std::sort(slots.begin(), slots.end());
+    std::uint64_t run = 1;
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      run = slots[i] == slots[i - 1] ? run + 1 : 1;
+      max_congestion = std::max(max_congestion, run);
+    }
+    max_congestion = std::max<std::uint64_t>(max_congestion, 1);
+  }
+
+  for (const Staged& s : outbox_) {
+    inboxes_[s.to].push_back(Envelope{s.from, s.msg});
+  }
+  ledger_->count_messages(outbox_.size());
+  outbox_.clear();
+  staged_count_ = 0;
+
+  std::uint64_t rounds = std::max<std::uint64_t>(max_congestion, 1);
+  if (has_override) {
+    XD_CHECK_MSG(max_congestion <= std::max<std::uint64_t>(rounds_override, 1),
+                 "exchange_charging: congestion " << max_congestion
+                     << " exceeds declared rounds " << rounds_override);
+    rounds = rounds_override;
+  }
+  if (rounds > 0) ledger_->charge(rounds, reason);
+  return rounds;
+}
+
+void Network::tick(std::uint64_t rounds, std::string_view reason) {
+  if (rounds > 0) ledger_->charge(rounds, reason);
+}
+
+}  // namespace xd::congest

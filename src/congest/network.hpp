@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file network.hpp
+/// The round-synchronous CONGEST kernel.
+///
+/// Usage pattern (a "logical exchange"):
+///   1. stage messages with send() / send_to() from any vertex;
+///   2. call exchange("label") -- all staged messages are delivered to the
+///      receivers' inboxes and the ledger is charged max-edge-congestion
+///      rounds (>= 1), i.e. the number of CONGEST rounds needed to push the
+///      staged traffic through the most loaded directed edge at one bounded
+///      message per edge per round;
+///   3. read inbox(v).
+///
+/// Sending over a self-loop slot is rejected: loops are local state, not
+/// channels.  Messages are validated to travel only over edges of the graph
+/// (that *is* the CONGEST model -- no telepathy).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace xd::congest {
+
+/// Round-synchronous message-passing network over a fixed topology.
+class Network {
+ public:
+  /// \param graph   topology; must outlive the network
+  /// \param ledger  accounting sink; must outlive the network
+  /// \param seed    run seed; per-vertex private streams fork from it
+  Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed = 1);
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] RoundLedger& ledger() { return *ledger_; }
+  [[nodiscard]] std::size_t num_vertices() const { return graph_->num_vertices(); }
+
+  /// Private randomness of vertex v (the model's local random bits).
+  [[nodiscard]] Rng& rng(VertexId v) { return rngs_[v]; }
+
+  /// Stage a message from `from` over its adjacency slot `slot`
+  /// (0 <= slot < degree).  Rejects self-loop slots.
+  void send(VertexId from, std::uint32_t slot, const Message& msg);
+
+  /// Stage a message from `from` to neighbor `to`; O(deg(from)) slot lookup.
+  /// Requires {from, to} to be an edge.
+  void send_to(VertexId from, VertexId to, const Message& msg);
+
+  /// Deliver all staged messages; charge max(1, max directed-edge
+  /// congestion) rounds under `reason`.  Clears previous inboxes first.
+  /// Returns the number of rounds charged.
+  std::uint64_t exchange(std::string_view reason);
+
+  /// Deliver staged messages, charging exactly `rounds_override` rounds
+  /// (used when a phase's cost is charged in aggregate elsewhere, e.g. the
+  /// pipelined parts of Lemma 10).  Congestion must not exceed the
+  /// override -- checked.
+  std::uint64_t exchange_charging(std::string_view reason,
+                                  std::uint64_t rounds_override);
+
+  /// Charge idle rounds (a phase that waits without traffic).
+  void tick(std::uint64_t rounds, std::string_view reason);
+
+  /// Messages delivered to v in the last exchange.
+  [[nodiscard]] std::span<const Envelope> inbox(VertexId v) const {
+    return inboxes_[v];
+  }
+
+  /// Total messages staged for the pending exchange (diagnostics).
+  [[nodiscard]] std::size_t staged() const { return staged_count_; }
+
+ private:
+  struct Staged {
+    VertexId from;
+    VertexId to;
+    std::uint32_t directed_slot;  ///< global directed-slot index of (from, slot)
+    Message msg;
+  };
+
+  const Graph* graph_;
+  RoundLedger* ledger_;
+  std::vector<Rng> rngs_;
+  std::vector<Staged> outbox_;
+  std::vector<std::vector<Envelope>> inboxes_;
+  std::size_t staged_count_ = 0;
+
+  std::uint64_t do_exchange(std::string_view reason, bool has_override,
+                            std::uint64_t rounds_override);
+};
+
+}  // namespace xd::congest

@@ -1,0 +1,319 @@
+#include "expander/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "congest/network.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "ldd/ldd.hpp"
+#include "sparsecut/partition.hpp"
+#include "util/check.hpp"
+
+namespace xd::expander {
+
+namespace {
+
+/// Mutable driver state shared by both phases.
+struct Driver {
+  const Graph* g = nullptr;
+  DecompositionParams prm;
+  Schedule schedule;
+  Rng* rng = nullptr;
+  congest::RoundLedger* ledger = nullptr;
+
+  std::vector<char> removed;               // ambient edge overlay
+  std::vector<std::vector<VertexId>> finals;
+  DecompositionResult* out = nullptr;
+
+  std::uint64_t ambient_volume(const std::vector<VertexId>& ids) const {
+    std::uint64_t vol = 0;
+    for (VertexId v : ids) vol += g->degree(v);
+    return vol;
+  }
+
+  void finalize(std::vector<VertexId> ids) { finals.push_back(std::move(ids)); }
+
+  void mark_removed(EdgeId ambient, RemoveReason reason) {
+    XD_CHECK(!removed[ambient]);
+    removed[ambient] = 1;
+    ++out->removed_by[static_cast<int>(reason)];
+  }
+
+  void phase1(std::vector<VertexId> u, std::uint32_t depth);
+  void phase2(std::vector<VertexId> u);
+};
+
+void Driver::phase1(std::vector<VertexId> u, std::uint32_t depth) {
+  out->max_phase1_depth = std::max(out->max_phase1_depth, depth);
+  if (u.size() <= 1) {
+    finalize(std::move(u));
+    return;
+  }
+  if (depth > schedule.d) {
+    // Lemma 1 proves this cannot happen with the paper constants; with
+    // practical constants it is a stopgap, and the affected part simply
+    // becomes final (costing conductance quality, never correctness of the
+    // partition).
+    finalize(std::move(u));
+    return;
+  }
+
+  // --- Step 1: LDD on G{U}; Remove-1 its cut edges. ---
+  // Practical preset skips the call when the part's measured diameter
+  // already meets the O(log²n/β²) bound LDD guarantees -- the LDD is then
+  // a no-op by its own contract (it may legally cut nothing), and the
+  // 2 ln n / β MPX epochs are saved.  Paper mode always runs it.
+  const LiveSubgraph live = live_subgraph(*g, removed, VertexSet(u));
+  const double logn =
+      std::log(std::max<double>(g->num_vertices(), 2));
+  const double ldd_diameter_bound =
+      150.0 * logn * logn / (schedule.beta * schedule.beta);
+  const bool run_ldd =
+      prm.preset == Preset::kPaper ||
+      static_cast<double>(diameter_double_sweep(live.graph)) >
+          ldd_diameter_bound;
+
+  std::vector<std::vector<VertexId>> comps;
+  if (run_ldd) {
+    ldd::LddParams ldd_prm;
+    ldd_prm.beta = schedule.beta;
+    ldd_prm.K = prm.ldd_K;
+    congest::Network net(live.graph, *ledger, (*rng)());
+    const ldd::LddResult ldd_res =
+        ldd::low_diameter_decomposition(net, ldd_prm, *rng);
+    for (EdgeId e = 0; e < live.graph.num_edges(); ++e) {
+      if (ldd_res.cut_edge[e]) {
+        const EdgeId parent = live.edge_to_parent[e];
+        XD_CHECK(parent != LiveSubgraph::kNoEdge);
+        mark_removed(parent, RemoveReason::kLdd);
+      }
+    }
+    comps.resize(ldd_res.num_components);
+    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
+      comps[ldd_res.component[lv]].push_back(live.to_parent[lv]);
+    }
+  } else {
+    auto [comp, count] = connected_components(live.graph);
+    comps.resize(count);
+    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
+      comps[comp[lv]].push_back(live.to_parent[lv]);
+    }
+  }
+
+  // --- Step 2: sparse cut on each component of what remains. ---
+  for (auto& comp : comps) {
+    if (comp.empty()) continue;
+    if (comp.size() == 1) {
+      finalize(std::move(comp));
+      continue;
+    }
+    const LiveSubgraph comp_live = live_subgraph(*g, removed, VertexSet(comp));
+    if (comp_live.graph.volume() == 0) {
+      finalize(std::move(comp));
+      continue;
+    }
+    ++out->sparse_cut_calls;
+    const auto diameter = diameter_double_sweep(comp_live.graph);
+    const auto res = sparsecut::nearly_most_balanced_sparse_cut(
+        comp_live.graph, schedule.phi[0], prm.preset, *rng, *ledger, diameter,
+        prm.thorough_partition);
+
+    if (!res.found()) {
+      finalize(std::move(comp));  // certified: Φ(G{U}) >= φ₀ (w.h.p.)
+      continue;
+    }
+    const std::uint64_t vol_u = comp_live.graph.volume();
+    const std::uint64_t vol_c = volume(comp_live.graph, res.cut);
+    // Phase-2 entry (Step 2b).  The paper's ε/12 threshold composes with
+    // Theorem 3's bal >= min{b/2, 1/48} only when ε <= 1/4; the min keeps
+    // the Lemma 2 argument valid for every ε in (0, 1).
+    const double entry = std::min(prm.epsilon / 12.0, 1.0 / 48.0);
+    if (static_cast<double>(vol_c) <= entry * static_cast<double>(vol_u)) {
+      ++out->phase2_entries;
+      phase2(std::move(comp));  // cut edges intentionally kept (Step 2b)
+      continue;
+    }
+
+    // Step 2c: Remove-2 the cut edges, recurse on both sides.
+    const auto in_cut = res.cut.bitmap(comp_live.graph.num_vertices());
+    for (EdgeId e = 0; e < comp_live.graph.num_edges(); ++e) {
+      const auto [x, y] = comp_live.graph.edge(e);
+      if (x == y) continue;
+      if (in_cut[x] != in_cut[y]) {
+        const EdgeId parent = comp_live.edge_to_parent[e];
+        XD_CHECK(parent != LiveSubgraph::kNoEdge);
+        mark_removed(parent, RemoveReason::kSparseCut);
+      }
+    }
+    std::vector<VertexId> side_c, side_rest;
+    for (VertexId lv = 0; lv < comp_live.graph.num_vertices(); ++lv) {
+      (in_cut[lv] ? side_c : side_rest).push_back(comp_live.to_parent[lv]);
+    }
+    phase1(std::move(side_c), depth + 1);
+    phase1(std::move(side_rest), depth + 1);
+  }
+}
+
+void Driver::phase2(std::vector<VertexId> u) {
+  const std::uint64_t vol_u = ambient_volume(u);
+  XD_CHECK(vol_u > 0);
+  const double m1 = (prm.epsilon / 6.0) * static_cast<double>(vol_u);
+  const double tau = std::pow(m1, 1.0 / static_cast<double>(prm.k));
+
+  // Communication uses all of G* = G{U}; its diameter bounds the O(D) terms
+  // for every sparse-cut call in this phase (paper, end of §2).
+  const LiveSubgraph entry = live_subgraph(*g, removed, VertexSet(u));
+  const std::uint32_t diameter = diameter_double_sweep(entry.graph);
+
+  int level = 1;
+  std::vector<VertexId> uprime = std::move(u);
+  // Per-level iteration guard: the paper bounds each level by 2τ rounds of
+  // the loop; the +2 absorbs rounding with practical constants.
+  const auto level_budget =
+      static_cast<std::uint64_t>(std::ceil(2.0 * tau)) + 2;
+  std::uint64_t level_iterations = 0;
+  // Lemma 2 invariant: the total volume ripped out in Phase 2 is at most
+  // m₁ = (ε/6) Vol(U).  Paper constants guarantee it; practical constants
+  // enforce it as a hard stop so one mis-balanced cut cannot cascade.
+  std::uint64_t ripped_volume = 0;
+
+  while (true) {
+    if (uprime.empty()) return;
+    const LiveSubgraph live = live_subgraph(*g, removed, VertexSet(uprime));
+    if (live.graph.volume() == 0 || uprime.size() == 1) {
+      finalize(std::move(uprime));
+      return;
+    }
+    ++out->sparse_cut_calls;
+    const auto res = sparsecut::nearly_most_balanced_sparse_cut(
+        live.graph, schedule.phi[static_cast<std::size_t>(level)], prm.preset,
+        *rng, *ledger, diameter, prm.thorough_partition);
+    if (!res.found()) {
+      finalize(std::move(uprime));
+      return;
+    }
+
+    const std::uint64_t vol_c = volume(live.graph, res.cut);
+    const double m_level = m1 / std::pow(tau, level - 1);
+    if (static_cast<double>(vol_c) <= m_level / (2.0 * tau)) {
+      ++level;
+      level_iterations = 0;
+      if (level > prm.k) {
+        // Impossible with the paper identity m_k/(2τ) = 1/2 < Vol(C);
+        // practical guard only.
+        finalize(std::move(uprime));
+        return;
+      }
+      continue;
+    }
+
+    if (++level_iterations > level_budget) {
+      finalize(std::move(uprime));  // practical guard; see level_budget
+      return;
+    }
+    if (static_cast<double>(ripped_volume + vol_c) > m1) {
+      finalize(std::move(uprime));  // Lemma 2 hard stop (practical guard)
+      return;
+    }
+    ripped_volume += vol_c;
+
+    // Remove-3: every edge incident to C goes; C's vertices become
+    // singleton components.
+    const auto in_cut = res.cut.bitmap(live.graph.num_vertices());
+    for (EdgeId e = 0; e < live.graph.num_edges(); ++e) {
+      const auto [x, y] = live.graph.edge(e);
+      if (x == y) continue;
+      if (in_cut[x] || in_cut[y]) {
+        const EdgeId parent = live.edge_to_parent[e];
+        XD_CHECK(parent != LiveSubgraph::kNoEdge);
+        mark_removed(parent, RemoveReason::kRipOut);
+      }
+    }
+    std::vector<VertexId> rest;
+    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
+      const VertexId pv = live.to_parent[lv];
+      if (in_cut[lv]) {
+        ++out->singleton_components;
+        finalize({pv});
+      } else {
+        rest.push_back(pv);
+      }
+    }
+    uprime = std::move(rest);
+  }
+}
+
+}  // namespace
+
+DecompositionResult expander_decomposition(const Graph& g,
+                                           const DecompositionParams& prm,
+                                           Rng& rng,
+                                           congest::RoundLedger& ledger) {
+  XD_CHECK(g.num_vertices() >= 2);
+  DecompositionResult out;
+  out.schedule = derive_schedule(prm, g.num_vertices(),
+                                 std::max<std::size_t>(g.num_edges(), 1),
+                                 std::max<std::uint64_t>(g.volume(), 1));
+  out.removed_edge.assign(g.num_edges(), 0);
+
+  const std::uint64_t rounds_before = ledger.rounds();
+
+  Driver driver;
+  driver.g = &g;
+  driver.prm = prm;
+  driver.schedule = out.schedule;
+  driver.rng = &rng;
+  driver.ledger = &ledger;
+  driver.removed.assign(g.num_edges(), 0);
+  driver.out = &out;
+
+  // Isolated vertices are their own components; everything else enters
+  // Phase 1 as one part (the LDD splits disconnected inputs for free).
+  std::vector<VertexId> start;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == 0) {
+      driver.finalize({v});
+    } else {
+      start.push_back(v);
+    }
+  }
+  if (!start.empty()) driver.phase1(std::move(start), 0);
+
+  out.removed_edge = driver.removed;
+  out.rounds = ledger.rounds() - rounds_before;
+
+  // Assemble component ids; every vertex must appear exactly once.
+  out.component.assign(g.num_vertices(), static_cast<std::uint32_t>(-1));
+  std::uint32_t next_id = 0;
+  for (const auto& ids : driver.finals) {
+    // A final part can still be disconnected (e.g. the depth guard); split
+    // it so components are genuinely connected in the remaining graph.
+    const LiveSubgraph live = live_subgraph(g, driver.removed, VertexSet(ids));
+    auto [comp, count] = connected_components(live.graph);
+    std::vector<std::uint32_t> local_to_global(count,
+                                               static_cast<std::uint32_t>(-1));
+    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
+      auto& slot = local_to_global[comp[lv]];
+      if (slot == static_cast<std::uint32_t>(-1)) slot = next_id++;
+      const VertexId pv = live.to_parent[lv];
+      XD_CHECK_MSG(out.component[pv] == static_cast<std::uint32_t>(-1),
+                   "vertex " << pv << " assigned twice");
+      out.component[pv] = slot;
+    }
+    if (live.graph.num_vertices() == 0 && !ids.empty()) {
+      // Degenerate: isolated final ids (empty live graph cannot happen for
+      // non-empty ids, but keep the invariant airtight).
+      for (VertexId pv : ids) out.component[pv] = next_id++;
+    }
+  }
+  out.num_components = next_id;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    XD_CHECK_MSG(out.component[v] != static_cast<std::uint32_t>(-1),
+                 "vertex " << v << " missing from the decomposition");
+  }
+  return out;
+}
+
+}  // namespace xd::expander

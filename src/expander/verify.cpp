@@ -1,0 +1,85 @@
+#include "expander/verify.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/mixing.hpp"
+#include "util/check.hpp"
+
+namespace xd::expander {
+
+VerificationReport verify_decomposition(const Graph& g,
+                                        const DecompositionResult& result,
+                                        double epsilon, double phi) {
+  VerificationReport report;
+  const std::size_t n = g.num_vertices();
+  XD_CHECK(result.component.size() == n);
+
+  // (1) Partition validity.
+  report.is_partition = true;
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.component[v] >= result.num_components) {
+      report.is_partition = false;
+    }
+  }
+
+  // (2) Inter-component edges.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if (u == v) continue;
+    if (result.component[u] != result.component[v]) {
+      ++report.inter_component_edges;
+    } else if (result.removed_edge[e]) {
+      ++report.internal_removed_edges;
+    }
+  }
+  report.cut_fraction = g.num_edges() == 0
+                            ? 0.0
+                            : static_cast<double>(report.inter_component_edges) /
+                                  static_cast<double>(g.num_edges());
+  report.cut_within_epsilon = report.cut_fraction <= epsilon + 1e-12;
+
+  // (3) Component conductance Φ(G{V_i}) on the live view (removed edges as
+  // loops -- the graph the final sparse-cut call certified).
+  std::vector<std::vector<VertexId>> members(result.num_components);
+  for (VertexId v = 0; v < n; ++v) {
+    members[result.component[v]].push_back(v);
+  }
+  report.min_conductance_lower = std::numeric_limits<double>::infinity();
+  for (std::uint32_t c = 0; c < result.num_components; ++c) {
+    ComponentQuality q;
+    q.id = c;
+    q.size = members[c].size();
+    const VertexSet ids(std::vector<VertexId>(members[c]));
+    q.volume = volume(g, ids);
+
+    const LiveSubgraph live = live_subgraph(g, result.removed_edge, ids);
+    if (q.size <= 1 || live.graph.num_nonloop_edges() == 0) {
+      // Singletons (and edgeless parts) expand vacuously.
+      q.conductance_lower = std::numeric_limits<double>::infinity();
+      q.conductance_upper = std::numeric_limits<double>::infinity();
+      q.exact = true;
+    } else if (q.size <= 14) {
+      q.conductance_lower = conductance_exact(live.graph);
+      q.conductance_upper = q.conductance_lower;
+      q.exact = true;
+    } else {
+      const double lambda2 = spectral::lazy_second_eigenvalue(live.graph);
+      q.conductance_lower = std::max(0.0, 1.0 - lambda2);
+      const auto sweep = spectral::fiedler_sweep(live.graph);
+      q.conductance_upper = sweep ? sweep->conductance
+                                  : std::numeric_limits<double>::infinity();
+      q.exact = false;
+    }
+    report.min_conductance_lower =
+        std::min(report.min_conductance_lower, q.conductance_lower);
+    report.components.push_back(q);
+  }
+  report.conductance_meets_phi = report.min_conductance_lower >= phi - 1e-12;
+  return report;
+}
+
+}  // namespace xd::expander

@@ -1,0 +1,369 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xd::gen {
+
+Graph path(std::size_t n) {
+  XD_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return b.build();
+}
+
+Graph cycle(std::size_t n) {
+  XD_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  XD_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) b.add_edge(0, static_cast<VertexId>(i));
+  return b.build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols, bool wrap) {
+  XD_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  if (wrap) {
+    // Wrap edges only when they are not already present (size >= 3).
+    if (cols >= 3) {
+      for (std::size_t r = 0; r < rows; ++r) b.add_edge(id(r, cols - 1), id(r, 0));
+    }
+    if (rows >= 3) {
+      for (std::size_t c = 0; c < cols; ++c) b.add_edge(id(rows - 1, c), id(0, c));
+    }
+  }
+  return b.build();
+}
+
+Graph hypercube(int dim) {
+  XD_CHECK(dim >= 1 && dim < 26);
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (u > v) b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(u));
+    }
+  }
+  return b.build();
+}
+
+Graph binary_tree(int depth) {
+  XD_CHECK(depth >= 0 && depth < 30);
+  const std::size_t n = (std::size_t{1} << (depth + 1)) - 1;
+  GraphBuilder b(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>((v - 1) / 2));
+  }
+  return b.build();
+}
+
+Graph gnp(std::size_t n, double p, Rng& rng) {
+  XD_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p <= 0.0) return b.build();
+  if (p >= 1.0) return complete(n);
+  // Batagelj–Brandes geometric skipping: O(m) instead of O(n^2).
+  const double log_q = std::log1p(-p);
+  std::size_t v = 1;
+  std::ptrdiff_t w = -1;
+  while (v < n) {
+    const double r = rng.next_double();
+    const auto skip =
+        static_cast<std::ptrdiff_t>(std::floor(std::log1p(-r) / log_q));
+    w += 1 + skip;
+    while (w >= static_cast<std::ptrdiff_t>(v) && v < n) {
+      w -= static_cast<std::ptrdiff_t>(v);
+      ++v;
+    }
+    if (v < n) {
+      b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return b.build();
+}
+
+Graph random_regular(std::size_t n, int d, Rng& rng) {
+  XD_CHECK(d >= 1 && static_cast<std::size_t>(d) < n);
+  XD_CHECK_MSG((n * static_cast<std::size_t>(d)) % 2 == 0,
+               "n*d must be even for a d-regular graph");
+  // Pairing model followed by edge-swap repair of loops and duplicates
+  // (full restarts need e^{Θ(d²)} attempts; local swaps converge fast and
+  // preserve the degree sequence exactly).
+  std::vector<VertexId> stubs;
+  stubs.reserve(n * static_cast<std::size_t>(d));
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int i = 0; i < d; ++i) stubs.push_back(static_cast<VertexId>(v));
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+  }
+  const std::size_t m = stubs.size() / 2;
+  std::vector<std::pair<VertexId, VertexId>> edges(m);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  auto canon = [](VertexId a, VertexId b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+  std::vector<std::size_t> bad;  // loop or duplicate edge indices
+  std::vector<char> is_bad(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    edges[i] = {stubs[2 * i], stubs[2 * i + 1]};
+    const auto& [u, v] = edges[i];
+    if (u == v || !seen.insert(canon(u, v)).second) {
+      bad.push_back(i);
+      is_bad[i] = 1;
+    }
+  }
+  std::size_t guard = 0;
+  while (!bad.empty()) {
+    XD_CHECK_MSG(++guard < 100 * m + 10000,
+                 "random_regular: swap repair did not converge (n="
+                     << n << ", d=" << d << ")");
+    const std::size_t i = bad.back();
+    const std::size_t j = rng.next_below(m);
+    // Only swap against a currently-good partner so `seen` bookkeeping
+    // stays exact (a duplicate bad edge shares its canon with a good twin).
+    if (i == j || is_bad[j]) continue;
+    auto [a, b2] = edges[i];
+    auto [c, e] = edges[j];
+    if (a == c || b2 == e) continue;
+    const auto n1 = canon(a, c);
+    const auto n2 = canon(b2, e);
+    if (n1 == n2 || seen.count(n1) || seen.count(n2)) continue;
+    // Commit: remove j's old edge, insert the two new ones.
+    seen.erase(canon(c, e));
+    seen.insert(n1);
+    seen.insert(n2);
+    edges[i] = {a, c};
+    edges[j] = {b2, e};
+    is_bad[i] = 0;
+    bad.pop_back();
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph barbell(std::size_t k, std::size_t bridge_len) {
+  XD_CHECK(k >= 2);
+  const std::size_t n = 2 * k + bridge_len;
+  GraphBuilder b(n);
+  auto clique = [&](std::size_t base) {
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        b.add_edge(static_cast<VertexId>(base + i),
+                   static_cast<VertexId>(base + j));
+      }
+    }
+  };
+  clique(0);
+  clique(k + bridge_len);
+  // Path through bridge vertices k .. k+bridge_len-1.
+  VertexId prev = static_cast<VertexId>(k - 1);
+  for (std::size_t i = 0; i < bridge_len; ++i) {
+    const auto mid = static_cast<VertexId>(k + i);
+    b.add_edge(prev, mid);
+    prev = mid;
+  }
+  b.add_edge(prev, static_cast<VertexId>(k + bridge_len));
+  return b.build();
+}
+
+Graph dumbbell_expanders(std::size_t n1, std::size_t n2, int d,
+                         std::size_t bridge_edges, Rng& rng) {
+  XD_CHECK(bridge_edges >= 1);
+  Rng r1 = rng.fork(1);
+  Rng r2 = rng.fork(2);
+  const Graph g1 = random_regular(n1, d, r1);
+  const Graph g2 = random_regular(n2, d, r2);
+  GraphBuilder b(n1 + n2, /*allow_parallel=*/false);
+  for (EdgeId e = 0; e < g1.num_edges(); ++e) {
+    const auto [u, v] = g1.edge(e);
+    b.add_edge(u, v);
+  }
+  for (EdgeId e = 0; e < g2.num_edges(); ++e) {
+    const auto [u, v] = g2.edge(e);
+    b.add_edge(static_cast<VertexId>(u + n1), static_cast<VertexId>(v + n1));
+  }
+  std::set<std::pair<VertexId, VertexId>> used;
+  std::size_t added = 0;
+  while (added < bridge_edges) {
+    const auto u = static_cast<VertexId>(rng.next_below(n1));
+    const auto v = static_cast<VertexId>(n1 + rng.next_below(n2));
+    if (used.emplace(u, v).second) {
+      b.add_edge(u, v);
+      ++added;
+    }
+  }
+  return b.build();
+}
+
+Graph planted_partition(std::size_t n, int blocks, double p_in, double p_out,
+                        Rng& rng) {
+  XD_CHECK(blocks >= 1);
+  GraphBuilder b(n);
+  auto block_of = [&](std::size_t v) {
+    return static_cast<int>(v * static_cast<std::size_t>(blocks) / n);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double p = block_of(i) == block_of(j) ? p_in : p_out;
+      if (rng.next_bool(p)) {
+        b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph clique_chain(std::size_t count, std::size_t k) {
+  XD_CHECK(count >= 1 && k >= 2);
+  const std::size_t n = count * k;
+  GraphBuilder b(n);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t base = c * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        b.add_edge(static_cast<VertexId>(base + i),
+                   static_cast<VertexId>(base + j));
+      }
+    }
+    if (c + 1 < count) {
+      b.add_edge(static_cast<VertexId>(base + k - 1),
+                 static_cast<VertexId>(base + k));
+    }
+  }
+  return b.build();
+}
+
+Graph lollipop(std::size_t k, std::size_t tail) {
+  XD_CHECK(k >= 2);
+  GraphBuilder b(k + tail);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  VertexId prev = static_cast<VertexId>(k - 1);
+  for (std::size_t i = 0; i < tail; ++i) {
+    const auto next = static_cast<VertexId>(k + i);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  return b.build();
+}
+
+Graph ring_of_cliques(std::size_t count, std::size_t k) {
+  XD_CHECK(count >= 3 && k >= 2);
+  GraphBuilder b(count * k);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t base = c * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        b.add_edge(static_cast<VertexId>(base + i),
+                   static_cast<VertexId>(base + j));
+      }
+    }
+    const std::size_t next_base = ((c + 1) % count) * k;
+    b.add_edge(static_cast<VertexId>(base + k - 1),
+               static_cast<VertexId>(next_base));
+  }
+  return b.build();
+}
+
+Graph watts_strogatz(std::size_t n, int k, double p, Rng& rng) {
+  XD_CHECK(k >= 1 && static_cast<std::size_t>(2 * k) < n);
+  XD_CHECK(p >= 0.0 && p <= 1.0);
+  // Ring lattice edges (i, i+d) for d = 1..k, each rewired to a uniform
+  // non-duplicate target with probability p.
+  std::set<std::pair<VertexId, VertexId>> edges;
+  auto canon = [](VertexId a, VertexId b2) {
+    return std::make_pair(std::min(a, b2), std::max(a, b2));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int d = 1; d <= k; ++d) {
+      edges.insert(canon(static_cast<VertexId>(i),
+                         static_cast<VertexId>((i + static_cast<std::size_t>(d)) % n)));
+    }
+  }
+  std::vector<std::pair<VertexId, VertexId>> rewired(edges.begin(), edges.end());
+  for (auto& [u, v] : rewired) {
+    if (!rng.next_bool(p)) continue;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto w = static_cast<VertexId>(rng.next_below(n));
+      if (w == u || w == v) continue;
+      const auto cand = canon(u, w);
+      if (edges.count(cand)) continue;
+      edges.erase(canon(u, v));
+      edges.insert(cand);
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph preferential_attachment(std::size_t n, int attach, Rng& rng) {
+  XD_CHECK(attach >= 1);
+  XD_CHECK(n > static_cast<std::size_t>(attach));
+  GraphBuilder b(n);
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<VertexId> endpoint_pool;
+  // Seed: clique on attach+1 vertices.
+  for (int i = 0; i <= attach; ++i) {
+    for (int j = i + 1; j <= attach; ++j) {
+      b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      endpoint_pool.push_back(static_cast<VertexId>(i));
+      endpoint_pool.push_back(static_cast<VertexId>(j));
+    }
+  }
+  for (std::size_t v = static_cast<std::size_t>(attach) + 1; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (targets.size() < static_cast<std::size_t>(attach)) {
+      targets.insert(endpoint_pool[rng.next_below(endpoint_pool.size())]);
+    }
+    for (VertexId t : targets) {
+      b.add_edge(static_cast<VertexId>(v), t);
+      endpoint_pool.push_back(static_cast<VertexId>(v));
+      endpoint_pool.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace xd::gen

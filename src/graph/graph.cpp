@@ -1,0 +1,107 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace xd {
+
+std::uint32_t Graph::loops_at(VertexId v) const {
+  std::uint32_t loops = 0;
+  for (VertexId u : neighbors(v)) {
+    if (u == v) ++loops;
+  }
+  return loops;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  XD_CHECK(u != v);
+  const VertexId probe = degree(u) <= degree(v) ? u : v;
+  const VertexId other = probe == u ? v : u;
+  for (VertexId w : neighbors(probe)) {
+    if (w == other) return true;
+  }
+  return false;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+GraphBuilder::GraphBuilder(std::size_t n, bool allow_parallel)
+    : n_(n), allow_parallel_(allow_parallel) {}
+
+GraphBuilder& GraphBuilder::add_edge(VertexId u, VertexId v) {
+  XD_CHECK_MSG(u < n_ && v < n_, "edge (" << u << "," << v << ") out of range n=" << n_);
+  us_.push_back(u);
+  vs_.push_back(v);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_loops(VertexId v, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) add_edge(v, v);
+  return *this;
+}
+
+Graph Graph_build_impl(std::size_t n, bool allow_parallel,
+                       const std::vector<VertexId>& us,
+                       const std::vector<VertexId>& vs);
+
+Graph GraphBuilder::build() const {
+  Graph g;
+  const std::size_t m = us_.size();
+  g.offsets_.assign(n_ + 1, 0);
+  g.edge_u_.resize(m);
+  g.edge_v_.resize(m);
+
+  // Degree count: loop contributes 1 slot, non-loop 1 slot per endpoint.
+  for (std::size_t e = 0; e < m; ++e) {
+    ++g.offsets_[us_[e] + 1];
+    if (us_[e] != vs_[e]) ++g.offsets_[vs_[e] + 1];
+  }
+  for (std::size_t v = 0; v < n_; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  const std::size_t slots = g.offsets_[n_];
+  g.neighbors_.resize(slots);
+  g.edge_ids_.resize(slots);
+
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const VertexId u = us_[e];
+    const VertexId v = vs_[e];
+    g.edge_u_[e] = u;
+    g.edge_v_[e] = v;
+    g.neighbors_[cursor[u]] = v;
+    g.edge_ids_[cursor[u]] = static_cast<EdgeId>(e);
+    ++cursor[u];
+    if (u != v) {
+      g.neighbors_[cursor[v]] = u;
+      g.edge_ids_[cursor[v]] = static_cast<EdgeId>(e);
+      ++cursor[v];
+    }
+    if (u == v) ++g.num_loops_;
+  }
+  g.num_edges_ = m;
+
+  if (!allow_parallel_) {
+    // Detect duplicate non-loop edges: sort each adjacency copy.
+    std::vector<std::pair<VertexId, VertexId>> canon;
+    canon.reserve(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      if (us_[e] == vs_[e]) continue;
+      canon.emplace_back(std::min(us_[e], vs_[e]), std::max(us_[e], vs_[e]));
+    }
+    std::sort(canon.begin(), canon.end());
+    const auto dup = std::adjacent_find(canon.begin(), canon.end());
+    XD_CHECK_MSG(dup == canon.end(),
+                 "parallel edge {" << (dup == canon.end() ? 0 : dup->first)
+                                   << "," << (dup == canon.end() ? 0 : dup->second)
+                                   << "} (pass allow_parallel to permit)");
+  }
+  return g;
+}
+
+}  // namespace xd

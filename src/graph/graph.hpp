@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file graph.hpp
+/// Immutable CSR graph with the paper's self-loop semantics.
+///
+/// The decomposition algorithms of Chang & Saranurak never let a vertex's
+/// degree change: whenever an edge {u, v} is removed, a self-loop is added at
+/// both u and v, and `G{S}` denotes the induced subgraph G[S] plus one
+/// self-loop per lost edge.  Following the paper (and Spielman–Srivastava),
+/// **each self-loop contributes exactly 1 to deg(v)** and occupies one
+/// adjacency slot whose neighbor is the vertex itself.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace xd {
+
+/// Vertex identifier: dense, 0-based.
+using VertexId = std::uint32_t;
+/// Undirected edge identifier: dense, 0-based; self-loops get ids too.
+using EdgeId = std::uint32_t;
+
+class GraphBuilder;
+
+/// Immutable undirected graph in CSR form.  Self-loops allowed (multiple per
+/// vertex); parallel non-loop edges are rejected at build time.
+///
+/// Invariants:
+///  * deg(v) == number of adjacency slots of v; a self-loop is one slot.
+///  * Every non-loop edge {u,v} appears in both endpoint lists with the same
+///    EdgeId; a self-loop appears once.
+///  * volume(V) == 2 * (non-loop edge count) + (loop count).
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  /// Total undirected edges, self-loops included (the paper's |E|).
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+  /// Undirected non-loop edges only.
+  [[nodiscard]] std::size_t num_nonloop_edges() const { return num_edges_ - num_loops_; }
+  [[nodiscard]] std::size_t num_loops() const { return num_loops_; }
+
+  /// deg(v): adjacency slots, self-loops counted once each.
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbor list of v (self-loops show up as v itself).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], degree(v)};
+  }
+
+  /// Edge ids parallel to neighbors(v).
+  [[nodiscard]] std::span<const EdgeId> incident_edges(VertexId v) const {
+    return {edge_ids_.data() + offsets_[v], degree(v)};
+  }
+
+  /// Global index of v's first adjacency slot; slot_base(v) + slot uniquely
+  /// identifies a *directed* edge use (what the congestion accounting keys
+  /// on).  Total slots == slot_base(n) == volume() - num_loops().
+  [[nodiscard]] std::uint32_t slot_base(VertexId v) const { return offsets_[v]; }
+
+  /// Number of self-loop slots at v.
+  [[nodiscard]] std::uint32_t loops_at(VertexId v) const;
+
+  /// Endpoints of an edge; for a self-loop both are equal.
+  [[nodiscard]] std::pair<VertexId, VertexId> edge(EdgeId e) const {
+    return {edge_u_[e], edge_v_[e]};
+  }
+  [[nodiscard]] bool is_loop(EdgeId e) const { return edge_u_[e] == edge_v_[e]; }
+
+  /// Sum of degrees over all vertices (the paper's Vol(V)); one adjacency
+  /// slot per degree unit, so this is exactly the slot count.
+  [[nodiscard]] std::uint64_t volume() const { return neighbors_.size(); }
+
+  /// True if {u, v} (u != v) is an edge.  O(min degree) scan.
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Maximum degree.
+  [[nodiscard]] std::uint32_t max_degree() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::uint32_t> offsets_;   ///< size n+1
+  std::vector<VertexId> neighbors_;      ///< one entry per slot; loop -> self
+  std::vector<EdgeId> edge_ids_;         ///< parallel to neighbors_
+  std::vector<VertexId> edge_u_, edge_v_;  ///< size num_edges_
+  std::size_t num_edges_ = 0;
+  std::size_t num_loops_ = 0;
+};
+
+/// Accumulates edges, then produces an immutable Graph.
+class GraphBuilder {
+ public:
+  /// \param n          number of vertices (fixed up front)
+  /// \param allow_parallel  if false (default) duplicate non-loop edges throw
+  explicit GraphBuilder(std::size_t n, bool allow_parallel = false);
+
+  /// Adds undirected edge {u, v}; u == v adds a self-loop (repeatable).
+  GraphBuilder& add_edge(VertexId u, VertexId v);
+
+  /// Adds `count` self-loops at v.
+  GraphBuilder& add_loops(VertexId v, std::uint32_t count);
+
+  [[nodiscard]] std::size_t num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return us_.size(); }
+
+  /// Finalizes into CSR form.  The builder may be reused afterwards (edges
+  /// are retained).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  std::size_t n_;
+  bool allow_parallel_;
+  std::vector<VertexId> us_, vs_;
+};
+
+}  // namespace xd

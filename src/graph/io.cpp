@@ -1,0 +1,45 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xd {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    os << u << " " << v << "\n";
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  XD_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_edge_list(g, os);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  XD_CHECK_MSG(static_cast<bool>(is >> n >> m), "bad edge-list header");
+  GraphBuilder b(n, /*allow_parallel=*/true);
+  for (std::size_t e = 0; e < m; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    XD_CHECK_MSG(static_cast<bool>(is >> u >> v),
+                 "edge list truncated at edge " << e << " of " << m);
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream is(path);
+  XD_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_edge_list(is);
+}
+
+}  // namespace xd

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text edge-list serialization: first line "n m", then one "u v" pair
+/// per line.  Self-loops serialize as "v v".
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace xd {
+
+/// Writes the graph as an edge list.
+void write_edge_list(const Graph& g, std::ostream& os);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Parses an edge list; throws CheckError on malformed input.
+Graph read_edge_list(std::istream& is);
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace xd

@@ -1,0 +1,252 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace xd {
+
+std::uint64_t volume(const Graph& g, const VertexSet& s) {
+  std::uint64_t vol = 0;
+  for (VertexId v : s) vol += g.degree(v);
+  return vol;
+}
+
+std::uint64_t cut_size(const Graph& g, const VertexSet& s) {
+  const auto mask = s.bitmap(g.num_vertices());
+  std::uint64_t cut = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if (u == v) continue;
+    if (mask[u] != mask[v]) ++cut;
+  }
+  return cut;
+}
+
+double conductance(const Graph& g, const VertexSet& s) {
+  const std::uint64_t vol_s = volume(g, s);
+  const std::uint64_t vol_rest = g.volume() - vol_s;
+  const std::uint64_t denom = std::min(vol_s, vol_rest);
+  if (denom == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(cut_size(g, s)) / static_cast<double>(denom);
+}
+
+double balance(const Graph& g, const VertexSet& s) {
+  const std::uint64_t vol_s = volume(g, s);
+  const std::uint64_t vol_rest = g.volume() - vol_s;
+  if (g.volume() == 0) return 0.0;
+  return static_cast<double>(std::min(vol_s, vol_rest)) /
+         static_cast<double>(g.volume());
+}
+
+namespace {
+
+/// Iterates nontrivial subsets containing vertex 0 (each cut once).
+template <typename Fn>
+void for_each_cut(const Graph& g, Fn&& fn) {
+  const std::size_t n = g.num_vertices();
+  XD_CHECK_MSG(n <= 24, "exhaustive cut enumeration limited to n <= 24");
+  if (n < 2) return;
+  const std::uint64_t limit = std::uint64_t{1} << (n - 1);
+  // Subsets of {1..n-1}; side containing vertex 0 is the complement, so each
+  // unordered cut appears exactly once, and S is never empty or full.
+  for (std::uint64_t bits = 1; bits < limit; ++bits) {
+    std::vector<VertexId> ids;
+    for (std::size_t v = 1; v < n; ++v) {
+      if (bits & (std::uint64_t{1} << (v - 1))) {
+        ids.push_back(static_cast<VertexId>(v));
+      }
+    }
+    fn(VertexSet(std::move(ids)));
+  }
+}
+
+}  // namespace
+
+double conductance_exact(const Graph& g) {
+  double best = std::numeric_limits<double>::infinity();
+  for_each_cut(g, [&](const VertexSet& s) {
+    best = std::min(best, conductance(g, s));
+  });
+  return best;
+}
+
+std::optional<VertexSet> most_balanced_cut_exact(const Graph& g, double phi) {
+  std::optional<VertexSet> best;
+  double best_balance = -1.0;
+  for_each_cut(g, [&](const VertexSet& s) {
+    if (conductance(g, s) <= phi) {
+      const double b = balance(g, s);
+      if (b > best_balance) {
+        best_balance = b;
+        best = s;
+      }
+    }
+  });
+  return best;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : g.neighbors(v)) {
+      if (u != v && dist[u] == kInf) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+std::pair<std::uint32_t, VertexId> eccentricity(const Graph& g, VertexId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  VertexId far = src;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] != std::numeric_limits<std::uint32_t>::max() && dist[v] > ecc) {
+      ecc = dist[v];
+      far = v;
+    }
+  }
+  return {ecc, far};
+}
+
+}  // namespace
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    best = std::max(best, eccentricity(g, v).first);
+  }
+  return best;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto [ecc0, far] = eccentricity(g, 0);
+  (void)ecc0;
+  return eccentricity(g, far).first;
+}
+
+namespace {
+
+/// Sorted, deduplicated, loop-free adjacency (triangle joins need it).
+std::vector<std::vector<VertexId>> simple_adjacency(const Graph& g) {
+  std::vector<std::vector<VertexId>> adj(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto& row = adj[v];
+    for (VertexId u : g.neighbors(v)) {
+      if (u != v) row.push_back(u);
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<std::array<VertexId, 3>> triangles_exact(const Graph& g) {
+  const auto adj = simple_adjacency(g);
+  std::vector<std::array<VertexId, 3>> out;
+  for (VertexId a = 0; a < g.num_vertices(); ++a) {
+    for (VertexId b : adj[a]) {
+      if (b <= a) continue;
+      // Intersect adj[a] and adj[b] above b.
+      auto ia = std::upper_bound(adj[a].begin(), adj[a].end(), b);
+      auto ib = std::upper_bound(adj[b].begin(), adj[b].end(), b);
+      while (ia != adj[a].end() && ib != adj[b].end()) {
+        if (*ia < *ib) {
+          ++ia;
+        } else if (*ib < *ia) {
+          ++ib;
+        } else {
+          out.push_back({a, b, *ia});
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return 0;
+  // Peel minimum-degree vertices with a bucket queue; the largest degree
+  // seen at removal time is the degeneracy.
+  std::vector<std::uint32_t> deg(n, 0);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u != v) ++deg[v];
+    }
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+
+  std::vector<char> removed(n, 0);
+  std::uint32_t degeneracy_bound = 0;
+  std::uint32_t cursor = 0;
+  for (std::size_t peeled = 0; peeled < n; ++peeled) {
+    // Find the lowest non-empty bucket with a still-live entry; entries go
+    // stale when their degree drops, so validate on pop.
+    while (true) {
+      while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+      XD_CHECK(cursor <= max_deg);
+      const VertexId v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (removed[v] || deg[v] != cursor) continue;  // stale
+      removed[v] = 1;
+      degeneracy_bound = std::max(degeneracy_bound, cursor);
+      for (VertexId u : g.neighbors(v)) {
+        if (u != v && !removed[u]) {
+          --deg[u];
+          buckets[deg[u]].push_back(u);
+          cursor = std::min(cursor, deg[u]);
+        }
+      }
+      break;
+    }
+  }
+  return degeneracy_bound;
+}
+
+std::uint64_t triangle_count_exact(const Graph& g) {
+  const auto adj = simple_adjacency(g);
+  std::uint64_t count = 0;
+  for (VertexId a = 0; a < g.num_vertices(); ++a) {
+    for (VertexId b : adj[a]) {
+      if (b <= a) continue;
+      auto ia = std::upper_bound(adj[a].begin(), adj[a].end(), b);
+      auto ib = std::upper_bound(adj[b].begin(), adj[b].end(), b);
+      while (ia != adj[a].end() && ib != adj[b].end()) {
+        if (*ia < *ib) {
+          ++ia;
+        } else if (*ib < *ia) {
+          ++ib;
+        } else {
+          ++count;
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace xd

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Exact (centralized) graph metrics.  These are the *oracles* the tests and
+/// the decomposition verifier use; the distributed algorithms never call
+/// them for their own decisions.
+///
+/// Terminology follows the paper (§1): for S ⊆ V,
+///   Vol(S)  = Σ_{v∈S} deg(v)            (degrees in the ambient graph),
+///   ∂(S)    = E(S, V\S)                 (self-loops never cross),
+///   Φ(S)    = |∂(S)| / min(Vol(S), Vol(V\S)),
+///   bal(S)  = min(Vol(S), Vol(V\S)) / Vol(V),
+///   Φ(G)    = min over nontrivial S of Φ(S).
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/vertex_set.hpp"
+
+namespace xd {
+
+/// Vol(S): sum of ambient degrees over S.
+std::uint64_t volume(const Graph& g, const VertexSet& s);
+
+/// |∂(S)|: edges with exactly one endpoint in S (loops never counted).
+std::uint64_t cut_size(const Graph& g, const VertexSet& s);
+
+/// Conductance of the cut (S, V\S); infinity when either side has zero
+/// volume (matching "no nontrivial cut").
+double conductance(const Graph& g, const VertexSet& s);
+
+/// bal(S) = min(Vol(S), Vol(S̄)) / Vol(V).
+double balance(const Graph& g, const VertexSet& s);
+
+/// Exact graph conductance Φ(G) by exhaustive enumeration.  Exponential:
+/// only for n <= 24 test oracles.  Returns infinity for graphs with no
+/// nontrivial cut (n < 2 or zero volume).
+double conductance_exact(const Graph& g);
+
+/// The most-balanced cut among all cuts of conductance <= phi, by exhaustive
+/// enumeration (n <= 24).  Returns nullopt when no cut has conductance <=
+/// phi.  (Definition of "most-balanced sparse cut", §1.)
+std::optional<VertexSet> most_balanced_cut_exact(const Graph& g, double phi);
+
+/// Single-source BFS hop distances; unreachable = UINT32_MAX.  Self-loops
+/// are ignored.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Exact diameter over the largest connected component... strictly: maximum
+/// eccentricity over all vertices, ignoring unreachable pairs.  O(n * m).
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Diameter lower bound by double-sweep BFS (tight on many families) --
+/// cheap for big benches.
+std::uint32_t diameter_double_sweep(const Graph& g);
+
+/// Sorted triangle list (a < b < c).  Merge-join on sorted adjacency lists;
+/// O(Σ deg(v)^2 / ...) ~ O(m^{3/2}).  Ground truth for Theorem 2 tests.
+std::vector<std::array<VertexId, 3>> triangles_exact(const Graph& g);
+
+/// Number of triangles (without materializing the list).
+std::uint64_t triangle_count_exact(const Graph& g);
+
+/// Degeneracy (max over subgraphs of the min degree) via the standard
+/// peeling order; arboricity lies in [⌈degeneracy/2⌉, degeneracy].  This
+/// is the quantity behind the prior work's caveat (the CPZ decomposition's
+/// extra n^δ-arboricity part, §1) -- the present paper's contribution is
+/// exactly that no such part is needed.  Self-loops are ignored.
+std::uint32_t degeneracy(const Graph& g);
+
+}  // namespace xd

@@ -1,0 +1,159 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xd {
+
+namespace {
+
+SubgraphMap induced_impl(const Graph& g, const VertexSet& s, bool add_loops) {
+  SubgraphMap out;
+  const std::size_t n = g.num_vertices();
+  out.from_parent.assign(n, SubgraphMap::kAbsent);
+  out.to_parent.assign(s.size(), 0);
+  std::size_t next = 0;
+  for (VertexId v : s) {
+    XD_CHECK(v < n);
+    out.from_parent[v] = static_cast<VertexId>(next);
+    out.to_parent[next] = v;
+    ++next;
+  }
+
+  GraphBuilder b(s.size(), /*allow_parallel=*/true);
+  for (VertexId v : s) {
+    const VertexId nv = out.from_parent[v];
+    std::uint32_t lost = 0;
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      if (u == v) {
+        // Existing self-loop: keep (once; loops appear once per slot).
+        b.add_edge(nv, nv);
+      } else if (out.from_parent[u] == SubgraphMap::kAbsent) {
+        ++lost;
+      } else if (u > v) {
+        // Emit each surviving non-loop edge once.
+        b.add_edge(nv, out.from_parent[u]);
+      }
+    }
+    if (add_loops) b.add_loops(nv, lost);
+  }
+  out.graph = b.build();
+  return out;
+}
+
+}  // namespace
+
+SubgraphMap induced_subgraph(const Graph& g, const VertexSet& s) {
+  return induced_impl(g, s, /*add_loops=*/false);
+}
+
+SubgraphMap induced_with_loops(const Graph& g, const VertexSet& s) {
+  return induced_impl(g, s, /*add_loops=*/true);
+}
+
+Graph remove_edges_with_loops(const Graph& g, const std::vector<char>& removed) {
+  XD_CHECK(removed.size() == g.num_edges());
+  GraphBuilder b(g.num_vertices(), /*allow_parallel=*/true);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if (!removed[e]) {
+      b.add_edge(u, v);
+    } else {
+      XD_CHECK_MSG(u != v, "self-loops are never removed (edge " << e << ")");
+      b.add_loops(u, 1);
+      b.add_loops(v, 1);
+    }
+  }
+  return b.build();
+}
+
+LiveSubgraph live_subgraph(const Graph& g, const std::vector<char>& removed,
+                           const VertexSet& u) {
+  XD_CHECK(removed.size() == g.num_edges());
+  LiveSubgraph out;
+  const std::size_t n = g.num_vertices();
+  out.from_parent.assign(n, LiveSubgraph::kAbsent);
+  out.to_parent.assign(u.size(), 0);
+  std::size_t next = 0;
+  for (VertexId v : u) {
+    XD_CHECK(v < n);
+    out.from_parent[v] = static_cast<VertexId>(next);
+    out.to_parent[next] = v;
+    ++next;
+  }
+
+  GraphBuilder b(u.size(), /*allow_parallel=*/true);
+  std::vector<EdgeId> provenance;
+  for (VertexId v : u) {
+    const VertexId nv = out.from_parent[v];
+    auto nbrs = g.neighbors(v);
+    auto eids = g.incident_edges(v);
+    std::uint32_t loops = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId w = nbrs[i];
+      const EdgeId e = eids[i];
+      if (w == v) {
+        XD_CHECK_MSG(!removed[e], "self-loops are never removed");
+        b.add_edge(nv, nv);
+        provenance.push_back(e);
+      } else if (removed[e] || out.from_parent[w] == LiveSubgraph::kAbsent) {
+        ++loops;  // removed edge or boundary edge -> substitution loop
+      } else if (w > v) {
+        b.add_edge(nv, out.from_parent[w]);
+        provenance.push_back(e);
+      }
+    }
+    for (std::uint32_t i = 0; i < loops; ++i) {
+      b.add_edge(nv, nv);
+      provenance.push_back(LiveSubgraph::kNoEdge);
+    }
+  }
+  out.graph = b.build();
+  out.edge_to_parent = std::move(provenance);
+  XD_CHECK(out.edge_to_parent.size() == out.graph.num_edges());
+  return out;
+}
+
+std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
+    const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> comp(n, static_cast<std::uint32_t>(-1));
+  std::size_t count = 0;
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (comp[root] != static_cast<std::uint32_t>(-1)) continue;
+    comp[root] = static_cast<std::uint32_t>(count);
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.neighbors(v)) {
+        if (comp[u] == static_cast<std::uint32_t>(-1)) {
+          comp[u] = static_cast<std::uint32_t>(count);
+          stack.push_back(u);
+        }
+      }
+    }
+    ++count;
+  }
+  return {std::move(comp), count};
+}
+
+std::vector<SubgraphMap> component_subgraphs(const Graph& g) {
+  auto [comp, count] = connected_components(g);
+  std::vector<std::vector<VertexId>> members(count);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    members[comp[v]].push_back(v);
+  }
+  std::vector<SubgraphMap> out;
+  out.reserve(count);
+  for (auto& ids : members) {
+    out.push_back(induced_subgraph(g, VertexSet(std::move(ids))));
+  }
+  return out;
+}
+
+}  // namespace xd

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file subgraph.hpp
+/// Induced subgraphs G[S] and the paper's degree-preserving G{S}, plus edge
+/// removal with loop substitution (the decomposition's Remove-1/2/3 steps
+/// never change any degree).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/vertex_set.hpp"
+
+namespace xd {
+
+/// A subgraph together with the vertex renumbering used to build it.
+struct SubgraphMap {
+  Graph graph;
+  /// new id -> parent id (size = graph.num_vertices()).
+  std::vector<VertexId> to_parent;
+  /// parent id -> new id, or kAbsent when the parent vertex is not in S.
+  std::vector<VertexId> from_parent;
+
+  static constexpr VertexId kAbsent = static_cast<VertexId>(-1);
+};
+
+/// G[S]: induced subgraph on S; self-loops of members are kept, degrees of
+/// boundary vertices shrink.
+SubgraphMap induced_subgraph(const Graph& g, const VertexSet& s);
+
+/// G{S}: induced subgraph on S with one self-loop added per boundary edge
+/// lost, so deg_{G{S}}(v) == deg_G(v) for every v in S (paper, §1
+/// Terminology).
+SubgraphMap induced_with_loops(const Graph& g, const VertexSet& s);
+
+/// Removes the flagged edges, adding one self-loop at *both* endpoints of
+/// every removed non-loop edge (the paper's edge-removal discipline: "we add
+/// a self loop at both u and v, and so the degree of a vertex never
+/// changes").  Vertex ids are preserved.  Removing a self-loop is forbidden.
+///
+/// \param removed bitmap indexed by EdgeId of g.
+Graph remove_edges_with_loops(const Graph& g, const std::vector<char>& removed);
+
+/// G{U} materialized against an ambient graph with an edge-removal overlay,
+/// keeping edge provenance.  This is the decomposition driver's working
+/// view: removed edges and boundary edges both appear as self-loops (so
+/// every degree matches the ambient graph), and each surviving non-loop
+/// edge knows its ambient EdgeId.
+struct LiveSubgraph {
+  Graph graph;
+  std::vector<VertexId> to_parent;    ///< local -> ambient vertex id
+  std::vector<VertexId> from_parent;  ///< ambient -> local, kAbsent outside U
+  /// Local EdgeId -> ambient EdgeId; kNoEdge for substitution loops.
+  std::vector<EdgeId> edge_to_parent;
+
+  static constexpr VertexId kAbsent = static_cast<VertexId>(-1);
+  static constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+};
+
+/// Builds G{U} of (g minus removed edges).  `removed` is indexed by g's
+/// EdgeIds; self-loops of g must not be flagged.
+LiveSubgraph live_subgraph(const Graph& g, const std::vector<char>& removed,
+                           const VertexSet& u);
+
+/// Connected components of g, treating self-loops as irrelevant.
+/// Returns (component id per vertex, number of components).
+std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
+    const Graph& g);
+
+/// Splits g into one SubgraphMap per connected component, each built with
+/// induced_subgraph (components have no boundary edges, so G[S] == G{S}).
+std::vector<SubgraphMap> component_subgraphs(const Graph& g);
+
+}  // namespace xd

@@ -1,0 +1,128 @@
+#include "ldd/mpx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xd::ldd {
+
+using congest::Message;
+using congest::Network;
+
+namespace {
+
+constexpr std::uint32_t kAnnounceTag = 0xC1;
+constexpr VertexId kNone = static_cast<VertexId>(-1);
+
+}  // namespace
+
+std::uint64_t Clustering::inter_cluster_edges(const Graph& g) const {
+  std::uint64_t cut = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if (u != v && center[u] != center[v]) ++cut;
+  }
+  return cut;
+}
+
+Clustering mpx_clustering(Network& net, double beta, std::string_view reason) {
+  XD_CHECK_MSG(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_vertices();
+  XD_CHECK(n >= 1);
+
+  const auto epochs = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(2.0 * std::log(std::max<double>(n, 2)) / beta)));
+
+  Clustering out;
+  out.center.assign(n, kNone);
+  out.joined_epoch.assign(n, 0);
+  out.epochs = epochs;
+
+  // Private exponential shifts -> wake-up epochs.
+  std::vector<std::uint32_t> start(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const double delta = net.rng(v).next_exponential(beta);
+    const double s = static_cast<double>(epochs) - std::floor(delta);
+    start[v] = static_cast<std::uint32_t>(std::max(1.0, s));
+  }
+
+  std::vector<VertexId> newly_clustered;
+  for (std::uint32_t t = 1; t <= epochs; ++t) {
+    // Deliver announcements from vertices clustered in epoch t-1.
+    for (VertexId v : newly_clustered) {
+      auto nbrs = g.neighbors(v);
+      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+        const VertexId u = nbrs[slot];
+        if (u != v && out.center[u] == kNone) {
+          net.send(v, slot, Message{kAnnounceTag, out.center[v]});
+        }
+      }
+    }
+    net.exchange(reason);
+    newly_clustered.clear();
+
+    for (VertexId v = 0; v < n; ++v) {
+      if (out.center[v] != kNone) continue;
+      // Join rule: adopt the smallest announced center (before own wake-up
+      // only if start_v > t; a vertex waking exactly now centers itself).
+      VertexId best_center = kNone;
+      for (const auto& env : net.inbox(v)) {
+        if (env.msg.tag != kAnnounceTag) continue;
+        best_center = std::min(best_center,
+                               static_cast<VertexId>(env.msg.words[0]));
+      }
+      if (start[v] == t) {
+        out.center[v] = v;
+        out.joined_epoch[v] = t;
+        newly_clustered.push_back(v);
+      } else if (best_center != kNone) {
+        out.center[v] = best_center;
+        out.joined_epoch[v] = t;
+        newly_clustered.push_back(v);
+      }
+    }
+  }
+
+  // Defensive flush: every vertex self-centers at its own wake-up epoch at
+  // the latest, so this loop should never find pending vertices; the guard
+  // bounds it in case of a protocol bug.
+  std::uint32_t flush_guard = 0;
+  while (true) {
+    bool pending = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (out.center[v] == kNone) pending = true;
+    }
+    if (!pending) break;
+    XD_CHECK_MSG(++flush_guard <= n + 1, "MPX failed to cluster all vertices");
+    for (VertexId v : newly_clustered) {
+      auto nbrs = g.neighbors(v);
+      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+        const VertexId u = nbrs[slot];
+        if (u != v && out.center[u] == kNone) {
+          net.send(v, slot, Message{kAnnounceTag, out.center[v]});
+        }
+      }
+    }
+    net.exchange(reason);
+    newly_clustered.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (out.center[v] != kNone) continue;
+      VertexId best_center = kNone;
+      for (const auto& env : net.inbox(v)) {
+        if (env.msg.tag != kAnnounceTag) continue;
+        best_center = std::min(best_center,
+                               static_cast<VertexId>(env.msg.words[0]));
+      }
+      if (best_center != kNone) {
+        out.center[v] = best_center;
+        out.joined_epoch[v] = epochs + 1;
+        newly_clustered.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xd::ldd

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file mpx.hpp
+/// Miller–Peng–Xu exponential-shift clustering, Clustering(β) (paper,
+/// Appendix B), executed as genuine message passing.
+///
+/// Every vertex samples δ_v ~ Exponential(β) from its private randomness
+/// and wakes at epoch start_v = max(1, ⌈2 ln n / β⌉ - ⌊δ_v⌋).  At each
+/// epoch an awake unclustered vertex becomes its own cluster center; an
+/// unclustered vertex adjacent to a vertex clustered in an earlier epoch
+/// joins that cluster (ties by smallest center id, then smallest sender
+/// id).  One kernel exchange per epoch: O(log n / β) rounds, cluster radius
+/// <= 2 ln n / β, and each edge is cut with probability <= 2β (Lemma 12).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace xd::ldd {
+
+/// Output of Clustering(β).
+struct Clustering {
+  /// Per vertex: its cluster's center (cluster id == center's vertex id).
+  std::vector<VertexId> center;
+  /// Per vertex: epoch at which it became clustered (1-based).
+  std::vector<std::uint32_t> joined_epoch;
+  /// Total epochs executed, ⌈2 ln n / β⌉.
+  std::uint32_t epochs = 0;
+
+  /// Number of edges with endpoints in different clusters (loops never
+  /// count).
+  [[nodiscard]] std::uint64_t inter_cluster_edges(const Graph& g) const;
+};
+
+/// Runs Clustering(β) on the network's graph.  Requires beta in (0, 1).
+Clustering mpx_clustering(congest::Network& net, double beta,
+                          std::string_view reason);
+
+}  // namespace xd::ldd

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file neighborhood.hpp
+/// Neighborhood edge counting (paper, Lemmas 14-16).
+///
+/// Lemma 14: with d-1 phases of O(τ) rounds each, every vertex learns
+/// E(N^d(v)) ∩ E* up to a cap τ (or learns that the cap is exceeded).
+/// Lemma 15: sampling E* at rate K log n/(f² z) turns that into a w.h.p.
+/// threshold test "is |E(N^d(v))| below z or above (1+f)z?" in
+/// O(d log n/f²) rounds.  Lemma 16 runs a geometric ladder of Lemma 15
+/// tests to get a (1+f)-approximation of |E(N^d(v))| for every v in
+/// O(d log²n/f³) rounds.
+///
+/// The data computation here is centralized (per-vertex capped BFS --
+/// exactly the information the distributed phases accumulate) and the
+/// stated round costs are charged to the ledger; see DESIGN.md §2.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace xd::ldd {
+
+/// Exact |E(N^d(v))| with early exit: returns min(count, cap).  E(S) counts
+/// edges (including loops) with both endpoints in S.  O(ball volume).
+std::uint64_t ball_edge_count(const Graph& g, VertexId v, std::uint32_t radius,
+                              std::uint64_t cap);
+
+/// Lemma 14 as data: per-vertex count of E* edges in the radius-d ball,
+/// capped at tau+1 (a result > tau means "cap exceeded").  Charges
+/// O(tau * d) rounds.
+std::vector<std::uint64_t> bounded_ball_count(const Graph& g,
+                                              const std::vector<char>& in_estar,
+                                              std::uint32_t d, std::uint64_t tau,
+                                              congest::RoundLedger& ledger);
+
+/// Lemma 15: per-vertex bit; 1 w.h.p. when |E(N^d(v))| <= z, 0 w.h.p. when
+/// >= (1+f)z (either answer allowed in between).  Charges O(d log n / f²).
+std::vector<char> ball_threshold_test(const Graph& g, std::uint32_t d, double z,
+                                      double f, double K, Rng& rng,
+                                      congest::RoundLedger& ledger);
+
+/// Lemma 16: per-vertex estimate m_v with m_v/(1+f) <= |E(N^d(v))| <=
+/// (1+f) m_v w.h.p.  Charges O(d log²n / f³).
+std::vector<double> ball_edge_estimate(const Graph& g, std::uint32_t d, double f,
+                                       double K, Rng& rng,
+                                       congest::RoundLedger& ledger);
+
+}  // namespace xd::ldd

@@ -1,0 +1,112 @@
+#include "primitives/aggregate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace xd::prim {
+
+using congest::Message;
+using congest::Network;
+
+namespace {
+
+enum Tag : std::uint32_t {
+  kUp = 0xA0,
+  kDown = 0xA1,
+};
+
+using Combine = std::uint64_t (*)(std::uint64_t, std::uint64_t);
+
+std::vector<std::uint64_t> convergecast(Network& net, const Forest& forest,
+                                        const std::vector<std::uint64_t>& value,
+                                        std::uint64_t identity, Combine combine,
+                                        std::string_view reason) {
+  const std::size_t n = net.num_vertices();
+  XD_CHECK(value.size() == n);
+  XD_CHECK(forest.root.size() == n);
+
+  std::vector<std::uint64_t> acc(n, identity);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.is_active(v)) acc[v] = value[v];
+  }
+  if (forest.height == 0) return acc;
+
+  // Depth levels from deepest to 1; level d vertices push into parents.
+  for (std::uint32_t level = forest.height; level >= 1; --level) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (forest.is_active(v) && forest.depth[v] == level) {
+        net.send_to(v, forest.parent[v], Message{Tag::kUp, acc[v]});
+      }
+    }
+    net.exchange(reason);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!forest.is_active(v)) continue;
+      for (const auto& env : net.inbox(v)) {
+        if (env.msg.tag == Tag::kUp) {
+          acc[v] = combine(acc[v], env.msg.words[0]);
+        }
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> convergecast_sum(Network& net, const Forest& forest,
+                                            const std::vector<std::uint64_t>& value,
+                                            std::string_view reason) {
+  return convergecast(
+      net, forest, value, 0,
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, reason);
+}
+
+std::vector<std::uint64_t> convergecast_min(Network& net, const Forest& forest,
+                                            const std::vector<std::uint64_t>& value,
+                                            std::string_view reason) {
+  return convergecast(
+      net, forest, value, std::numeric_limits<std::uint64_t>::max(),
+      [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); }, reason);
+}
+
+std::vector<std::uint64_t> convergecast_max(Network& net, const Forest& forest,
+                                            const std::vector<std::uint64_t>& value,
+                                            std::string_view reason) {
+  return convergecast(
+      net, forest, value, 0,
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); }, reason);
+}
+
+std::vector<std::uint64_t> broadcast_from_roots(Network& net, const Forest& forest,
+                                                const std::vector<std::uint64_t>& root_value,
+                                                std::string_view reason) {
+  const std::size_t n = net.num_vertices();
+  XD_CHECK(root_value.size() == n);
+
+  std::vector<std::uint64_t> out(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.is_active(v) && forest.parent[v] == v) out[v] = root_value[v];
+  }
+  for (std::uint32_t level = 0; level < forest.height; ++level) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (!forest.is_active(v) || forest.depth[v] != level) continue;
+      for (VertexId c : forest.children[v]) {
+        net.send_to(v, c, Message{Tag::kDown, out[v]});
+      }
+    }
+    net.exchange(reason);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!forest.is_active(v) || forest.depth[v] != level + 1) continue;
+      for (const auto& env : net.inbox(v)) {
+        if (env.msg.tag == Tag::kDown && env.from == forest.parent[v]) {
+          out[v] = env.msg.words[0];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xd::prim

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file aggregate.hpp
+/// Tree convergecast and broadcast over a Forest.  One 64-bit value per tree
+/// edge per direction -- a single Message -- so a full pass costs
+/// height(F) + 1 exchanges, the textbook CONGEST bound.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "primitives/forest.hpp"
+
+namespace xd::prim {
+
+/// Bottom-up sum: returns per-vertex subtree aggregate (the root entry holds
+/// the whole tree's sum).  Inactive vertices contribute nothing and read 0.
+std::vector<std::uint64_t> convergecast_sum(congest::Network& net,
+                                            const Forest& forest,
+                                            const std::vector<std::uint64_t>& value,
+                                            std::string_view reason);
+
+/// Bottom-up min; inactive vertices read UINT64_MAX.
+std::vector<std::uint64_t> convergecast_min(congest::Network& net,
+                                            const Forest& forest,
+                                            const std::vector<std::uint64_t>& value,
+                                            std::string_view reason);
+
+/// Bottom-up max; inactive vertices read 0.
+std::vector<std::uint64_t> convergecast_max(congest::Network& net,
+                                            const Forest& forest,
+                                            const std::vector<std::uint64_t>& value,
+                                            std::string_view reason);
+
+/// Top-down: every active vertex learns the value stored at its root.
+/// root_value is indexed by vertex id; only entries at roots are read.
+std::vector<std::uint64_t> broadcast_from_roots(congest::Network& net,
+                                                const Forest& forest,
+                                                const std::vector<std::uint64_t>& root_value,
+                                                std::string_view reason);
+
+}  // namespace xd::prim

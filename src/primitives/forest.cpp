@@ -1,0 +1,177 @@
+#include "primitives/forest.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xd::prim {
+
+using congest::Message;
+using congest::Network;
+
+namespace {
+
+/// Message tags used by the forest protocols.
+enum Tag : std::uint32_t {
+  kLeaderProbe = 0xF0,  ///< words[0] = candidate leader id
+  kJoin = 0xF1,         ///< words[0] = root id, sender offers adoption
+  kAccept = 0xF2,       ///< child -> parent
+};
+
+}  // namespace
+
+std::vector<VertexId> Forest::roots() const {
+  std::vector<VertexId> out;
+  for (std::size_t v = 0; v < root.size(); ++v) {
+    if (root[v] == static_cast<VertexId>(v)) out.push_back(root[v]);
+  }
+  return out;
+}
+
+std::vector<VertexId> elect_leaders(Network& net,
+                                    const std::vector<char>& active,
+                                    std::string_view reason) {
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_vertices();
+  XD_CHECK(active.size() == n);
+
+  std::vector<VertexId> best(n, kNoVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (active[v]) best[v] = v;
+  }
+
+  // Flood the minimum id. A vertex re-broadcasts only when its value
+  // improved last exchange; the loop ends after one exchange in which no
+  // value improved anywhere (that exchange is the confirmation round).
+  std::vector<char> dirty(active.begin(), active.end());
+  bool any_dirty = true;
+  while (any_dirty) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[v] || !dirty[v]) continue;
+      auto nbrs = g.neighbors(v);
+      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+        const VertexId u = nbrs[slot];
+        if (u != v && active[u]) {
+          net.send(v, slot, Message{kLeaderProbe, best[v]});
+        }
+      }
+    }
+    net.exchange(reason);
+    any_dirty = false;
+    std::fill(dirty.begin(), dirty.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      for (const auto& env : net.inbox(v)) {
+        if (env.msg.tag != kLeaderProbe) continue;
+        const auto candidate = static_cast<VertexId>(env.msg.words[0]);
+        if (candidate < best[v]) {
+          best[v] = candidate;
+          dirty[v] = 1;
+          any_dirty = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+Forest bfs_wave(Network& net, const std::vector<char>& active,
+                const std::vector<char>& is_root, std::string_view reason) {
+  const Graph& g = net.graph();
+  const std::size_t n = g.num_vertices();
+
+  Forest f;
+  f.root.assign(n, kNoVertex);
+  f.parent.assign(n, kNoVertex);
+  f.depth.assign(n, 0);
+  f.children.assign(n, {});
+
+  std::vector<VertexId> frontier;
+  for (VertexId v = 0; v < n; ++v) {
+    if (active[v] && is_root[v]) {
+      f.root[v] = v;
+      f.parent[v] = v;
+      frontier.push_back(v);
+    }
+  }
+
+  std::uint32_t level = 0;
+  // `pending_accept[v]` holds the parent v must ACK in the next exchange.
+  std::vector<std::pair<VertexId, VertexId>> pending_accepts;
+  while (!frontier.empty() || !pending_accepts.empty()) {
+    for (VertexId v : frontier) {
+      auto nbrs = g.neighbors(v);
+      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+        const VertexId u = nbrs[slot];
+        if (u != v && active[u] && f.root[u] == kNoVertex) {
+          net.send(v, slot, Message{Tag::kJoin, f.root[v]});
+        }
+      }
+    }
+    for (const auto& [child, parent] : pending_accepts) {
+      net.send_to(child, parent, Message{Tag::kAccept, 0});
+    }
+    pending_accepts.clear();
+    net.exchange(reason);
+    ++level;
+
+    std::vector<VertexId> next;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      if (f.root[v] == kNoVertex) {
+        // Adopt the JOIN with the smallest sender id (deterministic).
+        VertexId parent = kNoVertex;
+        VertexId root = kNoVertex;
+        for (const auto& env : net.inbox(v)) {
+          if (env.msg.tag == Tag::kJoin && env.from < parent) {
+            parent = env.from;
+            root = static_cast<VertexId>(env.msg.words[0]);
+          }
+        }
+        if (parent != kNoVertex) {
+          f.root[v] = root;
+          f.parent[v] = parent;
+          f.depth[v] = level;
+          f.height = std::max(f.height, level);
+          next.push_back(v);
+          pending_accepts.emplace_back(v, parent);
+        }
+      } else {
+        for (const auto& env : net.inbox(v)) {
+          if (env.msg.tag == Tag::kAccept) f.children[v].push_back(env.from);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  // One final drain so the last level's ACCEPTs are recorded -- handled
+  // above because the loop continues while pending_accepts is non-empty.
+  return f;
+}
+
+}  // namespace
+
+Forest build_forest(Network& net, const std::vector<char>& active,
+                    std::string_view reason) {
+  const auto leaders = elect_leaders(net, active, reason);
+  std::vector<char> is_root(active.size(), 0);
+  for (std::size_t v = 0; v < active.size(); ++v) {
+    if (active[v] && leaders[v] == static_cast<VertexId>(v)) is_root[v] = 1;
+  }
+  return bfs_wave(net, active, is_root, reason);
+}
+
+Forest build_forest_from_roots(Network& net, const std::vector<char>& active,
+                               const std::vector<VertexId>& roots,
+                               std::string_view reason) {
+  std::vector<char> is_root(active.size(), 0);
+  for (VertexId r : roots) {
+    XD_CHECK_MSG(active[r], "forest root " << r << " must be active");
+    is_root[r] = 1;
+  }
+  return bfs_wave(net, active, is_root, reason);
+}
+
+}  // namespace xd::prim

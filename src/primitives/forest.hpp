@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file forest.hpp
+/// Distributed spanning-forest construction: leader election by min-ID
+/// flooding, then a synchronized BFS wave from every leader.  Each connected
+/// region of the `active` vertex mask gets one tree.  These trees are the
+/// communication backbone for every convergecast / broadcast / sampling
+/// primitive in the library (the paper uses them in Lemma 9 -- "we build a
+/// spanning tree T of the edge set P* rooted at v" -- and Lemma 10).
+///
+/// All functions run as genuine message passing on the Network kernel; the
+/// rounds they cost are whatever the kernel charges (one per exchange, more
+/// under multiplexing).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+
+namespace xd::prim {
+
+/// Sentinel for "vertex not in any tree" (inactive).
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+
+/// A rooted spanning forest over the active subgraph.
+struct Forest {
+  /// Per vertex: the root (leader) of its tree, kNoVertex if inactive.
+  std::vector<VertexId> root;
+  /// Per vertex: BFS parent; roots point to themselves.
+  std::vector<VertexId> parent;
+  /// Per vertex: hop depth below its root (root = 0); undefined if inactive.
+  std::vector<std::uint32_t> depth;
+  /// Per vertex: children lists (centralized convenience view; the
+  /// distributed execution discovered these via ACCEPT messages).
+  std::vector<std::vector<VertexId>> children;
+  /// Maximum depth over all trees.
+  std::uint32_t height = 0;
+
+  [[nodiscard]] bool is_active(VertexId v) const { return root[v] != kNoVertex; }
+  /// Distinct roots, sorted.
+  [[nodiscard]] std::vector<VertexId> roots() const;
+};
+
+/// Min-ID flooding leader election restricted to active vertices and edges
+/// between them.  Returns per-vertex leader id (kNoVertex for inactive).
+/// Rounds: eccentricity of the worst region + 1 confirmation exchange.
+std::vector<VertexId> elect_leaders(congest::Network& net,
+                                    const std::vector<char>& active,
+                                    std::string_view reason);
+
+/// Leader election + BFS wave.  One tree per connected active region.
+Forest build_forest(congest::Network& net, const std::vector<char>& active,
+                    std::string_view reason);
+
+/// BFS wave from the given roots only (they must be active); active vertices
+/// not reached from any root end up inactive in the result.  Used when the
+/// caller already knows the roots (e.g. Nibble's start vertex).
+Forest build_forest_from_roots(congest::Network& net,
+                               const std::vector<char>& active,
+                               const std::vector<VertexId>& roots,
+                               std::string_view reason);
+
+}  // namespace xd::prim

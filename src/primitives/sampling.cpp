@@ -1,0 +1,101 @@
+#include "primitives/sampling.hpp"
+
+#include <map>
+
+#include "primitives/aggregate.hpp"
+#include "util/check.hpp"
+
+namespace xd::prim {
+
+using congest::Message;
+using congest::Network;
+
+namespace {
+
+constexpr std::uint32_t kTokenTag = 0x70;
+
+}  // namespace
+
+std::vector<ScaledSample> sample_by_weight(
+    Network& net, const Forest& forest,
+    const std::vector<std::uint64_t>& weight,
+    const std::vector<std::vector<std::pair<int, std::uint64_t>>>& tokens_at_root,
+    std::string_view reason) {
+  const std::size_t n = net.num_vertices();
+  XD_CHECK(weight.size() == n);
+  XD_CHECK(tokens_at_root.size() == n);
+
+  // Subtree weights via a genuine convergecast (height exchanges).
+  const auto subtree = convergecast_sum(net, forest, weight, reason);
+
+  std::vector<ScaledSample> samples;
+  // tokens[v]: scale -> count currently held at v.
+  std::vector<std::map<int, std::uint64_t>> tokens(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!forest.is_active(v) || forest.parent[v] != v) continue;
+    for (const auto& [scale, count] : tokens_at_root[v]) {
+      if (count > 0) tokens[v][scale] += count;
+    }
+  }
+
+  for (std::uint32_t level = 0; level <= forest.height; ++level) {
+    bool traffic = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!forest.is_active(v) || forest.depth[v] != level) continue;
+      if (tokens[v].empty()) continue;
+      auto& rng = net.rng(v);
+      const std::uint64_t s_v = subtree[v];
+      const std::uint64_t w_v = weight[v];
+      // Per-child outgoing counts, keyed (child, scale).
+      std::map<std::pair<VertexId, int>, std::uint64_t> forward;
+      for (const auto& [scale, count] : tokens[v]) {
+        for (std::uint64_t t = 0; t < count; ++t) {
+          XD_CHECK_MSG(s_v > 0, "token reached a zero-weight subtree");
+          // Die here with probability w(v)/s(v).
+          if (rng.next_below(s_v) < w_v) {
+            samples.push_back(ScaledSample{v, scale});
+            continue;
+          }
+          // Otherwise descend: child u with probability s(u)/(s(v)-w(v)).
+          const std::uint64_t rest = s_v - w_v;
+          XD_CHECK(rest > 0);
+          std::uint64_t r = rng.next_below(rest);
+          VertexId chosen = kNoVertex;
+          for (VertexId c : forest.children[v]) {
+            if (r < subtree[c]) {
+              chosen = c;
+              break;
+            }
+            r -= subtree[c];
+          }
+          XD_CHECK_MSG(chosen != kNoVertex,
+                       "subtree weights inconsistent at vertex " << v);
+          ++forward[{chosen, scale}];
+        }
+      }
+      tokens[v].clear();
+      for (const auto& [key, count] : forward) {
+        const auto& [child, scale] = key;
+        net.send_to(v, child,
+                    Message{kTokenTag,
+                            static_cast<std::uint64_t>(scale), count});
+        traffic = true;
+      }
+    }
+    if (level == forest.height) break;
+    net.exchange(reason);
+    (void)traffic;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!forest.is_active(v)) continue;
+      for (const auto& env : net.inbox(v)) {
+        if (env.msg.tag == kTokenTag) {
+          tokens[v][static_cast<int>(env.msg.words[0])] += env.msg.words[1];
+        }
+      }
+    }
+  }
+
+  return samples;
+}
+
+}  // namespace xd::prim

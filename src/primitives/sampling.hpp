@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file sampling.hpp
+/// Degree-distribution start-vertex sampling (paper, Lemma 10).
+///
+/// To run k instances of ApproximateNibble with start vertices drawn from
+/// the degree distribution ψ_V, the root of a BFS tree samples all k scale
+/// parameters locally, then releases "i-tokens" down the tree: a token at v
+/// dies at v with probability w(v)/s(v) (s = subtree weight) -- v becomes a
+/// start vertex -- otherwise it descends to child u with probability
+/// s(u)/(s(v)-w(v)).  Only token *counts* travel over edges, one bounded
+/// message per (edge, scale), exactly as the paper observes ("the only
+/// information v needs to let u know is the number of i-tokens").
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "primitives/forest.hpp"
+
+namespace xd::prim {
+
+/// One sampled Nibble instance: its start vertex and scale parameter b.
+struct ScaledSample {
+  VertexId vertex;
+  int scale;
+
+  friend bool operator==(const ScaledSample&, const ScaledSample&) = default;
+};
+
+/// Runs the Lemma 10 token descent.
+///
+/// \param weight          per-vertex sampling weight (deg(v) for ψ_V)
+/// \param tokens_at_root  indexed by vertex id; read only at forest roots;
+///                        each entry lists (scale, token count) to release
+/// \return all samples, in no particular order
+std::vector<ScaledSample> sample_by_weight(
+    congest::Network& net, const Forest& forest,
+    const std::vector<std::uint64_t>& weight,
+    const std::vector<std::vector<std::pair<int, std::uint64_t>>>& tokens_at_root,
+    std::string_view reason);
+
+}  // namespace xd::prim

@@ -1,0 +1,150 @@
+#include "primitives/tree_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "primitives/aggregate.hpp"
+#include "util/check.hpp"
+
+namespace xd::prim {
+
+using congest::Network;
+
+namespace {
+
+/// Interval of the sweep order: vertices v with L.precedes_eq(v) and
+/// v.precedes_eq(R).  Unbounded ends use ±infinity keys.
+struct Interval {
+  OrderKey lo{std::numeric_limits<double>::infinity(), 0};   // order-first
+  OrderKey hi{-std::numeric_limits<double>::infinity(),
+              static_cast<VertexId>(-1)};                     // order-last
+
+  [[nodiscard]] bool contains(const OrderKey& x) const {
+    return lo.precedes_eq(x) && x.precedes_eq(hi);
+  }
+};
+
+/// Uniform random member of the interval within root's tree: weighted
+/// top-down descent by candidate counts (each vertex weights itself 1 if
+/// in the interval).  Counts come from one convergecast; the descent is a
+/// depth-bounded sequence of single-child messages, charged as `height`
+/// rounds via tick (the data path is deterministic given the counts).
+std::optional<OrderKey> sample_in_interval(
+    Network& net, const Forest& forest, VertexId root,
+    const std::vector<double>& keys, const Interval& iv,
+    std::string_view reason) {
+  const std::size_t n = net.num_vertices();
+  std::vector<std::uint64_t> indicator(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.is_active(v) && forest.root[v] == root &&
+        iv.contains(OrderKey{keys[v], v})) {
+      indicator[v] = 1;
+    }
+  }
+  const auto counts = convergecast_sum(net, forest, indicator, reason);
+  if (counts[root] == 0) return std::nullopt;
+
+  // Top-down descent: at v, stop with probability own/count(v), else move
+  // to a child with probability counts[child]/rest.
+  VertexId v = root;
+  auto& rng = net.rng(root);
+  std::uint64_t descended = 0;
+  for (;;) {
+    const std::uint64_t total = counts[v];
+    XD_CHECK(total > 0);
+    std::uint64_t r = rng.next_below(total);
+    if (r < indicator[v]) break;
+    r -= indicator[v];
+    VertexId next = kNoVertex;
+    for (const VertexId c : forest.children[v]) {
+      if (r < counts[c]) {
+        next = c;
+        break;
+      }
+      r -= counts[c];
+    }
+    XD_CHECK_MSG(next != kNoVertex, "descent counts inconsistent at " << v);
+    v = next;
+    ++descended;
+  }
+  // One message per level of the descent path.
+  net.tick(std::max<std::uint64_t>(descended, 1), reason);
+  return OrderKey{keys[v], v};
+}
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> count_prefix(
+    Network& net, const Forest& forest, VertexId root,
+    const std::vector<double>& keys, const std::vector<std::uint64_t>& weights,
+    const OrderKey& pivot, std::string_view reason) {
+  const std::size_t n = net.num_vertices();
+  std::vector<std::uint64_t> count_ind(n, 0);
+  std::vector<std::uint64_t> weight_ind(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forest.is_active(v) && forest.root[v] == root &&
+        OrderKey{keys[v], v}.precedes_eq(pivot)) {
+      count_ind[v] = 1;
+      weight_ind[v] = weights[v];
+    }
+  }
+  const auto counts = convergecast_sum(net, forest, count_ind, reason);
+  const auto wsums = convergecast_sum(net, forest, weight_ind, reason);
+  return {counts[root], wsums[root]};
+}
+
+std::optional<RankSelect> rank_select(Network& net, const Forest& forest,
+                                      VertexId root,
+                                      const std::vector<double>& keys,
+                                      const std::vector<std::uint64_t>& weights,
+                                      std::uint64_t j, std::string_view reason) {
+  const std::size_t n = net.num_vertices();
+  XD_CHECK(keys.size() == n && weights.size() == n);
+  XD_CHECK(j >= 1);
+
+  Interval iv;
+  RankSelect out;
+  // Expected O(log n) pivots; the hard cap only guards against degenerate
+  // RNG streaks.
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto pivot = sample_in_interval(net, forest, root, keys, iv, reason);
+    if (!pivot) return std::nullopt;  // interval empty: j out of range
+    const auto [rank, weight] =
+        count_prefix(net, forest, root, keys, weights, *pivot, reason);
+    ++out.pivots;
+    if (rank == j) {
+      out.vertex = pivot->id;
+      out.key = pivot->key;
+      out.prefix_weight = weight;
+      return out;
+    }
+    if (rank > j) {
+      // Pivot is after the target: shrink from above, excluding pivot.
+      iv.hi = *pivot;
+      // Exclude the pivot itself: the next candidates must strictly
+      // precede it.  Represent by nudging the id (ids are strictly
+      // ordered within equal keys).
+      if (iv.hi.id == 0) {
+        iv.hi.key = std::nextafter(iv.hi.key, std::numeric_limits<double>::infinity());
+        iv.hi.id = static_cast<VertexId>(-1);
+      } else {
+        --iv.hi.id;
+      }
+    } else {
+      // Pivot precedes the target: everything up to and including it is
+      // out.
+      iv.lo = *pivot;
+      if (iv.lo.id == static_cast<VertexId>(-1)) {
+        iv.lo.key = std::nextafter(iv.lo.key, -std::numeric_limits<double>::infinity());
+        iv.lo.id = 0;
+      } else {
+        ++iv.lo.id;
+      }
+    }
+  }
+  XD_CHECK_MSG(false, "rank_select failed to converge");
+  return std::nullopt;
+}
+
+}  // namespace xd::prim

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file tree_search.hpp
+/// The distributed "random binary search" of Lemma 9.
+///
+/// ApproximateNibble's sweep needs, for a given walk step, the j-th vertex
+/// in ρ̃-descending order and the volume of the sweep prefix π̃(1..j) --
+/// without any vertex knowing its rank.  The paper's recipe: keep an
+/// interval [L, R] of the order, sample a uniformly random candidate
+/// inside it by a weighted top-down tree descent, count (by convergecast)
+/// how many vertices precede it, and shrink.  Expected O(log n) pivots,
+/// each costing O(height) kernel exchanges: O(t₀ log n) rounds per (t, j)
+/// query, which is exactly Lemma 9's bill.
+///
+/// Everything here is genuine message passing over a prim::Forest.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "primitives/forest.hpp"
+
+namespace xd::prim {
+
+/// A position in the sweep order: ranked by key descending, then id
+/// ascending (the paper's "break ties by comparing IDs").
+struct OrderKey {
+  double key = 0.0;
+  VertexId id = 0;
+
+  /// True if *this precedes (or equals) other in sweep order.
+  [[nodiscard]] bool precedes_eq(const OrderKey& other) const {
+    if (key != other.key) return key > other.key;
+    return id <= other.id;
+  }
+};
+
+/// Result of a rank selection.
+struct RankSelect {
+  VertexId vertex = kNoVertex;   ///< the rank-j vertex
+  double key = 0.0;              ///< its key
+  std::uint64_t prefix_weight = 0;  ///< Σ weight over ranks 1..j
+  std::uint64_t pivots = 0;      ///< binary-search iterations used
+};
+
+/// Selects the rank-`j` (1-based) vertex among the active vertices of the
+/// single tree rooted at `root`, ordered by (key desc, id asc), and returns
+/// the weight of the rank-prefix.  Requires 1 <= j <= #active-with-tree.
+/// Runs O(log) convergecast/descend passes through the kernel, charged
+/// under `reason`.
+std::optional<RankSelect> rank_select(congest::Network& net,
+                                      const Forest& forest, VertexId root,
+                                      const std::vector<double>& keys,
+                                      const std::vector<std::uint64_t>& weights,
+                                      std::uint64_t j, std::string_view reason);
+
+/// Convergecast helper: number of active tree members (of `root`'s tree)
+/// whose OrderKey precedes-or-equals `pivot`; also returns their total
+/// weight.  One bottom-up pass (height exchanges).
+std::pair<std::uint64_t, std::uint64_t> count_prefix(
+    congest::Network& net, const Forest& forest, VertexId root,
+    const std::vector<double>& keys, const std::vector<std::uint64_t>& weights,
+    const OrderKey& pivot, std::string_view reason);
+
+}  // namespace xd::prim

@@ -1,0 +1,32 @@
+#include "routing/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xd::routing {
+
+std::uint64_t queries_needed(const Graph& g, const std::vector<Demand>& demands,
+                             double slack) {
+  XD_CHECK(slack > 0);
+  std::vector<std::uint64_t> out_load(g.num_vertices(), 0);
+  std::vector<std::uint64_t> in_load(g.num_vertices(), 0);
+  for (const Demand& d : demands) {
+    XD_CHECK(d.src < g.num_vertices() && d.dst < g.num_vertices());
+    out_load[d.src] += d.count;
+    in_load[d.dst] += d.count;
+  }
+  std::uint64_t queries = 1;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double budget = slack * std::max<double>(g.degree(v), 1.0);
+    const auto need_out =
+        static_cast<std::uint64_t>(std::ceil(out_load[v] / budget));
+    const auto need_in =
+        static_cast<std::uint64_t>(std::ceil(in_load[v] / budget));
+    queries = std::max({queries, need_out, need_in});
+  }
+  return queries;
+}
+
+}  // namespace xd::routing

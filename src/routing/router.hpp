@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file router.hpp
+/// Routing on expanders (paper, §3; Ghaffari–Kuhn–Su).
+///
+/// The triangle algorithm needs to solve, Õ(n^{1/3}) times per cluster, the
+/// problem: given demands where each vertex v is the source or destination
+/// of at most O(deg(v)) bounded messages, deliver all of them.  GKS build a
+/// hierarchical structure over a graph with mixing time τ_mix exposing a
+/// trade-off between preprocessing and per-query cost, controlled by a
+/// depth parameter k:
+///
+///   preprocessing:  O(kβ)(log n)^{O(k)} · τ_mix  +  O(kβ² log n) · τ_mix
+///                   (hierarchy + portals; GKS Lemmas 3.2, 3.3), β = m^{1/k}
+///   per query:      (log n)^{O(k)} · τ_mix        (GKS Lemma 3.4)
+///
+/// Two backends (DESIGN.md §2 documents the substitution):
+///   * HierarchicalRouter -- charges those formulas with measured τ_mix and
+///     validates/delivers demands logically: reproduces the exact trade-off
+///     curve of the paper (experiment E5);
+///   * TreeRouter -- O(log n) random-root BFS trees, store-and-forward with
+///     per-edge FIFO queues, fully simulated: a real router whose measured
+///     makespan cross-checks the τ_mix-dominated cost claims.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace xd::routing {
+
+/// One routing demand: `count` bounded messages from src to dst.
+struct Demand {
+  VertexId src = 0;
+  VertexId dst = 0;
+  std::uint32_t count = 1;
+};
+
+/// Backend-independent interface.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Builds the structure; returns (and charges) preprocessing rounds.
+  virtual std::uint64_t preprocess() = 0;
+
+  /// Delivers one batch of demands where each vertex sends/receives at most
+  /// O(deg(v)) messages; returns (and charges) the rounds used.  Batches
+  /// exceeding the per-vertex budget are split internally into the minimal
+  /// number of queries (the Õ(n^{1/3}) repetition of the paper).
+  virtual std::uint64_t route(const std::vector<Demand>& demands) = 0;
+
+  /// Queries executed so far (diagnostics for the E5 trade-off table).
+  [[nodiscard]] virtual std::uint64_t queries() const = 0;
+};
+
+/// Splits a demand batch into queries: within each query every vertex
+/// sends at most `slack`*deg(v) and receives at most `slack`*deg(v)
+/// messages.  Returns the number of queries needed (>= 1).  Shared by both
+/// backends.
+std::uint64_t queries_needed(const Graph& g, const std::vector<Demand>& demands,
+                             double slack = 1.0);
+
+}  // namespace xd::routing

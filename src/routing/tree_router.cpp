@@ -1,0 +1,121 @@
+#include "routing/tree_router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace xd::routing {
+
+TreeRouter::TreeRouter(congest::Network& net, int trees)
+    : net_(&net), requested_trees_(trees) {}
+
+std::uint64_t TreeRouter::preprocess() {
+  const Graph& g = net_->graph();
+  const std::size_t n = g.num_vertices();
+  XD_CHECK(n >= 1);
+  int trees = requested_trees_;
+  if (trees <= 0) {
+    trees = 1;
+    for (std::size_t v = 1; v < n; v <<= 1) ++trees;
+  }
+  const std::uint64_t before = net_->ledger().rounds();
+  const std::vector<char> active(n, 1);
+  Rng& rng = net_->rng(0);
+  for (int t = 0; t < trees; ++t) {
+    const auto root = static_cast<VertexId>(rng.next_below(n));
+    forests_.push_back(
+        prim::build_forest_from_roots(*net_, active, {root}, "TreeRouter/build"));
+    XD_CHECK_MSG(forests_.back().is_active(root), "router graph disconnected");
+  }
+  return net_->ledger().rounds() - before;
+}
+
+std::vector<VertexId> TreeRouter::tree_path(const prim::Forest& f, VertexId src,
+                                            VertexId dst) const {
+  XD_CHECK(f.is_active(src) && f.is_active(dst));
+  // Climb both to the root, then cut at the lowest common vertex.
+  std::vector<VertexId> up_src{src};
+  while (up_src.back() != f.parent[up_src.back()]) {
+    up_src.push_back(f.parent[up_src.back()]);
+  }
+  std::vector<VertexId> up_dst{dst};
+  while (up_dst.back() != f.parent[up_dst.back()]) {
+    up_dst.push_back(f.parent[up_dst.back()]);
+  }
+  // Trim the common suffix, keeping the meeting vertex once.
+  while (up_src.size() >= 2 && up_dst.size() >= 2 &&
+         up_src[up_src.size() - 2] == up_dst[up_dst.size() - 2]) {
+    up_src.pop_back();
+    up_dst.pop_back();
+  }
+  std::vector<VertexId> path = std::move(up_src);
+  for (auto it = up_dst.rbegin() + 1; it != up_dst.rend(); ++it) {
+    path.push_back(*it);
+  }
+  return path;
+}
+
+std::uint64_t TreeRouter::route(const std::vector<Demand>& demands) {
+  XD_CHECK_MSG(!forests_.empty(), "preprocess() must run first");
+  const Graph& g = net_->graph();
+  Rng& rng = net_->rng(0);
+  queries_ += queries_needed(g, demands);
+
+  // Expand demands into messages with a random tree and path each.
+  struct Msg {
+    std::vector<VertexId> path;
+    std::size_t at = 0;  // index into path
+  };
+  std::vector<Msg> msgs;
+  for (const Demand& d : demands) {
+    for (std::uint32_t c = 0; c < d.count; ++c) {
+      if (d.src == d.dst) continue;
+      const auto& f = forests_[rng.next_below(forests_.size())];
+      msgs.push_back(Msg{tree_path(f, d.src, d.dst), 0});
+    }
+  }
+
+  // Synchronous store-and-forward: per directed edge (u, v), one message
+  // per round, FIFO by arrival.  Simulated exactly.
+  std::map<std::pair<VertexId, VertexId>, std::deque<std::size_t>> queues;
+  std::size_t undelivered = 0;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    if (msgs[i].at + 1 < msgs[i].path.size()) {
+      queues[{msgs[i].path[0], msgs[i].path[1]}].push_back(i);
+      ++undelivered;
+    }
+  }
+
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;
+  while (undelivered > 0) {
+    ++rounds;
+    XD_CHECK_MSG(rounds < 100 * msgs.size() + 1000,
+                 "store-and-forward failed to drain");
+    std::vector<std::pair<std::pair<VertexId, VertexId>, std::size_t>> moves;
+    for (auto& [edge, q] : queues) {
+      if (!q.empty()) {
+        moves.push_back({edge, q.front()});
+        q.pop_front();
+      }
+    }
+    for (const auto& [edge, mi] : moves) {
+      ++messages_sent;
+      Msg& m = msgs[mi];
+      ++m.at;
+      XD_CHECK(m.path[m.at] == edge.second);
+      if (m.at + 1 < m.path.size()) {
+        queues[{m.path[m.at], m.path[m.at + 1]}].push_back(mi);
+      } else {
+        --undelivered;
+      }
+    }
+  }
+  net_->ledger().count_messages(messages_sent);
+  net_->ledger().charge(std::max<std::uint64_t>(rounds, 1), "TreeRouter/route");
+  return std::max<std::uint64_t>(rounds, 1);
+}
+
+}  // namespace xd::routing

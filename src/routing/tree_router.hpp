@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file tree_router.hpp
+/// Fully simulated store-and-forward router over O(log n) random-root BFS
+/// trees.
+///
+/// Preprocessing builds the trees through the kernel (real BFS waves).
+/// route() assigns each message a uniformly random tree, walks it along the
+/// unique src -> root -> dst tree path (shortcut at the meeting vertex), and
+/// simulates synchronous store-and-forward with one message per directed
+/// edge per round, FIFO queues.  The returned makespan is a *measured*
+/// round count -- no modeling -- which on a φ-expander stays polylogarithmic
+/// per deg-bounded query (cross-check for the GKS cost model, E5).
+
+#include <memory>
+
+#include "congest/network.hpp"
+#include "primitives/forest.hpp"
+#include "routing/router.hpp"
+
+namespace xd::routing {
+
+/// Multi-tree store-and-forward backend.
+class TreeRouter : public Router {
+ public:
+  /// \param net    network over the (connected) cluster graph
+  /// \param trees  number of random-root BFS trees (default ⌈log₂ n⌉ + 1)
+  TreeRouter(congest::Network& net, int trees = 0);
+
+  std::uint64_t preprocess() override;
+  std::uint64_t route(const std::vector<Demand>& demands) override;
+  [[nodiscard]] std::uint64_t queries() const override { return queries_; }
+
+  /// Tree count actually used.
+  [[nodiscard]] int tree_count() const { return static_cast<int>(forests_.size()); }
+
+ private:
+  congest::Network* net_;
+  int requested_trees_;
+  std::vector<prim::Forest> forests_;
+  std::uint64_t queries_ = 0;
+
+  /// Tree path src -> dst in forest f (sequence of vertices).
+  [[nodiscard]] std::vector<VertexId> tree_path(const prim::Forest& f,
+                                                VertexId src, VertexId dst) const;
+};
+
+}  // namespace xd::routing

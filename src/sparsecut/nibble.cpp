@@ -1,0 +1,243 @@
+#include "sparsecut/nibble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "spectral/lazy_walk.hpp"
+#include "util/check.hpp"
+
+namespace xd::sparsecut {
+
+namespace {
+
+using spectral::SparseDist;
+
+/// Sweep arrays over the support of a sparse distribution, ordered by
+/// ρ̃ descending with ties by id (paper: "breaking ties arbitrarily, e.g.
+/// by comparing IDs").
+struct SupportSweep {
+  std::vector<VertexId> order;
+  std::vector<double> rho;              // per position
+  std::vector<std::uint64_t> vol;       // prefix volume
+  std::vector<std::uint64_t> cut;       // prefix |∂|
+
+  [[nodiscard]] std::size_t size() const { return order.size(); }
+
+  [[nodiscard]] double conductance(std::size_t j, std::uint64_t total_volume) const {
+    const std::uint64_t v = vol[j - 1];
+    const std::uint64_t rest = total_volume - v;
+    const std::uint64_t denom = std::min(v, rest);
+    if (denom == 0) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(cut[j - 1]) / static_cast<double>(denom);
+  }
+};
+
+SupportSweep build_sweep(const Graph& g, const SparseDist& dist) {
+  SupportSweep s;
+  const std::size_t k = dist.size();
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<double> rho(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    rho[i] = dist.mass[i] / g.degree(dist.support[i]);
+  }
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (rho[a] != rho[b]) return rho[a] > rho[b];
+    return dist.support[a] < dist.support[b];
+  });
+
+  s.order.resize(k);
+  s.rho.resize(k);
+  s.vol.resize(k);
+  s.cut.resize(k);
+  std::unordered_set<VertexId> in_prefix;
+  in_prefix.reserve(k * 2);
+  std::uint64_t vol = 0;
+  std::int64_t cut = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const VertexId v = dist.support[idx[j]];
+    s.order[j] = v;
+    s.rho[j] = rho[idx[j]];
+    vol += g.degree(v);
+    std::int64_t nonloop = 0;
+    std::int64_t inside = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (u == v) continue;
+      ++nonloop;
+      if (in_prefix.count(u)) ++inside;
+    }
+    cut += nonloop - 2 * inside;
+    XD_CHECK(cut >= 0);
+    in_prefix.insert(v);
+    s.vol[j] = vol;
+    s.cut[j] = static_cast<std::uint64_t>(cut);
+  }
+  return s;
+}
+
+/// The geometric candidate sequence (j_x) of ApproximateNibble: j_1 = 1 and
+/// j_i = max(j_{i-1}+1, largest j with Vol(1..j) <= (1+φ) Vol(1..j_{i-1})).
+std::vector<std::size_t> candidate_sequence(const SupportSweep& sweep,
+                                            double phi) {
+  std::vector<std::size_t> js;
+  const std::size_t jmax = sweep.size();
+  if (jmax == 0) return js;
+  js.push_back(1);
+  while (js.back() != jmax) {
+    const std::size_t prev = js.back();
+    const double limit = (1.0 + phi) * static_cast<double>(sweep.vol[prev - 1]);
+    // Largest j with vol <= limit (prefix volumes are increasing).
+    auto it = std::upper_bound(sweep.vol.begin(), sweep.vol.end(), limit,
+                               [](double lim, std::uint64_t v) {
+                                 return lim < static_cast<double>(v);
+                               });
+    const auto by_volume = static_cast<std::size_t>(it - sweep.vol.begin());
+    js.push_back(std::max(prev + 1, by_volume));
+  }
+  return js;
+}
+
+struct Conditions {
+  bool c1 = false;
+  bool c2 = false;
+  bool c3 = false;
+  [[nodiscard]] bool all() const { return c1 && c2 && c3; }
+};
+
+/// Exact (C.1)-(C.3) at prefix j.
+Conditions exact_conditions(const SupportSweep& sweep, std::size_t j,
+                            const NibbleParams& prm, std::uint64_t total_volume,
+                            int b) {
+  Conditions c;
+  c.c1 = sweep.conductance(j, total_volume) <= prm.phi;
+  c.c2 = sweep.rho[j - 1] >=
+         prm.gamma / static_cast<double>(sweep.vol[j - 1]);
+  const double vol = static_cast<double>(sweep.vol[j - 1]);
+  c.c3 = vol <= (5.0 / 6.0) * static_cast<double>(total_volume) &&
+         vol >= (5.0 / 7.0) * std::ldexp(1.0, b - 1);
+  return c;
+}
+
+/// Relaxed (C.1*)-(C.3*) at candidate j_x with predecessor j_{x-1}.
+Conditions starred_conditions(const SupportSweep& sweep, std::size_t jx,
+                              std::size_t jprev, const NibbleParams& prm,
+                              std::uint64_t total_volume, int b) {
+  Conditions c;
+  c.c1 = sweep.conductance(jx, total_volume) <= prm.star_relax * prm.phi;
+  c.c2 = sweep.rho[jprev - 1] >=
+         prm.gamma / static_cast<double>(sweep.vol[jx - 1]);
+  const double vol = static_cast<double>(sweep.vol[jx - 1]);
+  c.c3 = vol <= (11.0 / 12.0) * static_cast<double>(total_volume) &&
+         vol >= (5.0 / 7.0) * std::ldexp(1.0, b - 1);
+  return c;
+}
+
+VertexSet sweep_prefix_to_set(const SupportSweep& sweep, std::size_t j) {
+  return VertexSet(std::vector<VertexId>(
+      sweep.order.begin(), sweep.order.begin() + static_cast<std::ptrdiff_t>(j)));
+}
+
+NibbleResult run_nibble(const Graph& g, VertexId v, const NibbleParams& prm,
+                        int b, bool approximate) {
+  XD_CHECK_MSG(b >= 1 && b <= prm.ell, "scale b=" << b << " outside [1, ℓ]");
+  XD_CHECK_MSG(g.degree(v) > 0, "start vertex " << v << " is isolated");
+
+  const double eps = prm.eps_b(b);
+  const std::uint64_t total_volume = g.volume();
+
+  NibbleResult result;
+  std::unordered_set<VertexId> touched;
+  SparseDist dist = SparseDist::point(v);
+  touched.insert(v);
+  int stall_run = 0;
+
+  for (int t = 1; t <= prm.t0; ++t) {
+    result.work_volume += [&] {
+      std::uint64_t w = 0;
+      for (VertexId u : dist.support) w += g.degree(u);
+      return w;
+    }();
+    SparseDist prev = dist;
+    dist = spectral::truncated_step(g, dist, eps);
+    result.steps_run = t;
+    if (dist.size() == 0) break;  // all mass truncated away
+    for (VertexId u : dist.support) touched.insert(u);
+
+    if (prm.stall_tolerance > 0.0) {
+      // Relative L1 movement between consecutive truncated distributions.
+      std::unordered_map<VertexId, double> prev_mass;
+      prev_mass.reserve(prev.size() * 2);
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        prev_mass[prev.support[i]] = prev.mass[i];
+      }
+      double moved = 0.0;
+      double total = 0.0;
+      for (std::size_t i = 0; i < dist.size(); ++i) {
+        const auto it = prev_mass.find(dist.support[i]);
+        const double before = it == prev_mass.end() ? 0.0 : it->second;
+        moved += std::abs(dist.mass[i] - before);
+        total += dist.mass[i];
+        if (it != prev_mass.end()) prev_mass.erase(it);
+      }
+      for (const auto& [u, m] : prev_mass) moved += m;
+      stall_run = (total > 0 && moved / total < prm.stall_tolerance)
+                      ? stall_run + 1
+                      : 0;
+    }
+
+    const SupportSweep sweep = build_sweep(g, dist);
+    if (approximate) {
+      const auto js = candidate_sequence(sweep, prm.phi);
+      for (std::size_t x = 0; x < js.size(); ++x) {
+        const std::size_t jx = js[x];
+        ++result.sweep_candidates;
+        const bool boundary = x == 0 || jx == js[x - 1] + 1;
+        const Conditions c =
+            boundary ? exact_conditions(sweep, jx, prm, total_volume, b)
+                     : starred_conditions(sweep, jx, js[x - 1], prm,
+                                          total_volume, b);
+        if (c.all()) {
+          result.cut = sweep_prefix_to_set(sweep, jx);
+          result.t_used = t;
+          result.j_used = jx;
+          result.cut_conductance = sweep.conductance(jx, total_volume);
+          result.cut_volume = sweep.vol[jx - 1];
+          break;
+        }
+      }
+    } else {
+      for (std::size_t j = 1; j <= sweep.size(); ++j) {
+        ++result.sweep_candidates;
+        if (exact_conditions(sweep, j, prm, total_volume, b).all()) {
+          result.cut = sweep_prefix_to_set(sweep, j);
+          result.t_used = t;
+          result.j_used = j;
+          result.cut_conductance = sweep.conductance(j, total_volume);
+          result.cut_volume = sweep.vol[j - 1];
+          break;
+        }
+      }
+    }
+    if (result.found()) break;
+    if (prm.stall_tolerance > 0.0 && stall_run >= prm.stall_patience) break;
+  }
+
+  result.touched.assign(touched.begin(), touched.end());
+  std::sort(result.touched.begin(), result.touched.end());
+  return result;
+}
+
+}  // namespace
+
+NibbleResult nibble(const Graph& g, VertexId v, const NibbleParams& prm, int b) {
+  return run_nibble(g, v, prm, b, /*approximate=*/false);
+}
+
+NibbleResult approximate_nibble(const Graph& g, VertexId v,
+                                const NibbleParams& prm, int b) {
+  return run_nibble(g, v, prm, b, /*approximate=*/true);
+}
+
+}  // namespace xd::sparsecut

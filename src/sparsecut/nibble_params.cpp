@@ -1,0 +1,99 @@
+#include "sparsecut/nibble_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xd::sparsecut {
+
+namespace {
+
+double ln_me2(std::size_t m) { return std::log(static_cast<double>(m)) + 2.0; }
+double ln_me4(std::size_t m) { return std::log(static_cast<double>(m)) + 4.0; }
+
+int ceil_log2(std::size_t m) {
+  int l = 0;
+  std::size_t v = 1;
+  while (v < m) {
+    v <<= 1;
+    ++l;
+  }
+  return std::max(l, 1);
+}
+
+}  // namespace
+
+double NibbleParams::eps_b(int b) const {
+  XD_CHECK(b >= 1 && b <= ell);
+  return eps_base / std::ldexp(1.0, b);
+}
+
+NibbleParams NibbleParams::rescaled(std::size_t m, std::uint64_t vol) const {
+  return preset == Preset::kPaper ? paper(phi, m, vol) : practical(phi, m, vol);
+}
+
+NibbleParams NibbleParams::with_phi(double new_phi) const {
+  return preset == Preset::kPaper ? paper(new_phi, num_edges, volume)
+                                  : practical(new_phi, num_edges, volume);
+}
+
+NibbleParams NibbleParams::paper(double phi, std::size_t m, std::uint64_t vol,
+                                 double p) {
+  XD_CHECK(phi > 0 && phi <= 1.0 && m >= 1 && vol >= 1);
+  NibbleParams prm;
+  prm.preset = Preset::kPaper;
+  prm.phi = phi;
+  prm.num_edges = m;
+  prm.volume = vol;
+  prm.ell = ceil_log2(m);
+  prm.t0 = static_cast<int>(std::ceil(49.0 * ln_me2(m) / (phi * phi)));
+  prm.f_phi = phi * phi * phi / (144.0 * ln_me4(m) * ln_me4(m));
+  prm.gamma = 5.0 * phi / (7.0 * 7.0 * 8.0 * ln_me4(m));
+  prm.eps_base = phi / (7.0 * 8.0 * ln_me4(m) * prm.t0);
+
+  const double denom =
+      56.0 * prm.ell * (prm.t0 + 1.0) * prm.t0 * ln_me4(m) / phi;
+  prm.k_instances = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(static_cast<double>(vol) / denom)));
+  prm.overlap_cap =
+      10 * static_cast<int>(std::ceil(std::log(static_cast<double>(vol))));
+  const double g = std::ceil(10.0 * prm.overlap_cap * denom);
+  prm.max_iterations = static_cast<std::uint64_t>(
+      4.0 * g * std::ceil(std::log(1.0 / p) / std::log(7.0 / 4.0)));
+  prm.empty_streak_quit = 0;
+  return prm;
+}
+
+NibbleParams NibbleParams::practical(double phi, std::size_t m,
+                                     std::uint64_t vol) {
+  XD_CHECK(phi > 0 && phi <= 1.0 && m >= 1 && vol >= 1);
+  NibbleParams prm;
+  prm.preset = Preset::kPractical;
+  prm.phi = phi;
+  prm.num_edges = m;
+  prm.volume = vol;
+  prm.ell = ceil_log2(m);
+  // Same shapes, leading constants ~50-100x smaller, with floors/caps so
+  // tiny graphs still walk a little and dense graphs stay tractable.
+  prm.t0 = std::clamp(
+      static_cast<int>(std::ceil(0.75 * ln_me2(m) / (phi * phi))), 8, 600);
+  prm.f_phi = phi / 3.0;  // precondition: practical runs feed φ' ≈ φ cuts
+  prm.gamma = phi / (8.0 * ln_me4(m));
+  prm.eps_base = phi / (4.0 * ln_me4(m) * prm.t0);
+
+  const double denom = 4.0 * prm.ell * prm.t0 * ln_me4(m) / phi;
+  prm.k_instances = static_cast<std::uint64_t>(std::clamp(
+      std::ceil(static_cast<double>(vol) / denom), 1.0, 64.0));
+  prm.overlap_cap = std::max(
+      3, static_cast<int>(std::ceil(std::log(static_cast<double>(vol)))));
+  prm.max_iterations = static_cast<std::uint64_t>(std::clamp(
+      std::ceil(4.0 * std::log(static_cast<double>(vol))), 8.0, 96.0));
+  prm.empty_streak_quit = 3;
+  prm.stall_tolerance = 1e-3;
+  prm.stall_patience = 3;
+  prm.star_relax = 1.0;
+  return prm;
+}
+
+}  // namespace xd::sparsecut

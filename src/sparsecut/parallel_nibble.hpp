@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file parallel_nibble.hpp
+/// ParallelNibble(G, φ) (paper, Appendix A.4): run k RandomNibbles
+/// simultaneously; abort with C = ∅ if any edge participates in more than
+/// w = O(log Vol) of them (the congestion guard that makes simultaneous
+/// execution affordable in CONGEST); otherwise return the largest prefix
+/// union U_{i*} with Vol(U_{i*}) <= (23/24) Vol(V).
+///
+/// Round accounting (charged to the supplied ledger; labels below):
+///   "ParallelNibble/generate"  Lemma 10 instance generation: O(D + ℓ)
+///   "ParallelNibble/nibbles"   multiplexed diffusion + Lemma 9 sweeps:
+///                              max-instance cost x observed overlap
+///   "ParallelNibble/select"    random binary search for i*: O(D log k)
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+#include "graph/vertex_set.hpp"
+#include "sparsecut/nibble_params.hpp"
+#include "sparsecut/random_nibble.hpp"
+#include "util/rng.hpp"
+
+namespace xd::sparsecut {
+
+/// Output of one ParallelNibble call.
+struct ParallelNibbleResult {
+  /// U_{i*}, or empty (no instance found a cut, or the overlap guard fired).
+  VertexSet cut;
+  /// True iff some edge exceeded the participation cap w.
+  bool overlap_aborted = false;
+  /// Number of RandomNibble instances executed (the paper's k).
+  std::uint64_t instances = 0;
+  /// Instances whose cut made it into U_{i*}.
+  std::uint64_t instances_used = 0;
+  /// Max per-edge participation observed (<= w unless aborted).
+  int max_overlap = 0;
+  /// Simulated rounds charged for this call.
+  std::uint64_t rounds = 0;
+};
+
+/// Runs ParallelNibble.  `diameter_hint`, when provided, is used for the
+/// O(D) terms of the charging rules (the expander-decomposition driver
+/// passes the LDD diameter bound); otherwise a double-sweep BFS estimate of
+/// the current graph is used.
+ParallelNibbleResult parallel_nibble(const Graph& g, const NibbleParams& prm,
+                                     Rng& rng, congest::RoundLedger& ledger,
+                                     std::optional<std::uint32_t> diameter_hint =
+                                         std::nullopt);
+
+}  // namespace xd::sparsecut

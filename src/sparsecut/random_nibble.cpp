@@ -1,0 +1,29 @@
+#include "sparsecut/random_nibble.hpp"
+
+#include "util/check.hpp"
+
+namespace xd::sparsecut {
+
+VertexId sample_by_degree(const Graph& g, Rng& rng) {
+  const std::uint64_t vol = g.volume();
+  XD_CHECK_MSG(vol > 0, "cannot sample from a zero-volume graph");
+  std::uint64_t r = rng.next_below(vol);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    if (r < d) return v;
+    r -= d;
+  }
+  XD_CHECK(false);  // unreachable: degrees sum to vol
+  return 0;
+}
+
+RandomNibbleResult random_nibble(const Graph& g, const NibbleParams& prm,
+                                 Rng& rng) {
+  RandomNibbleResult out;
+  out.start = sample_by_degree(g, rng);
+  out.scale = rng.next_nibble_scale(prm.ell);
+  out.inner = approximate_nibble(g, out.start, prm, out.scale);
+  return out;
+}
+
+}  // namespace xd::sparsecut

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file random_nibble.hpp
+/// RandomNibble(G, φ) (paper, Appendix A.3): sample a start vertex from the
+/// degree distribution ψ_V and a scale b in [1, ℓ] with Pr[b=i] ∝ 2^{-i},
+/// then run ApproximateNibble(G, v, φ, b).
+
+#include "graph/graph.hpp"
+#include "sparsecut/nibble.hpp"
+#include "sparsecut/nibble_params.hpp"
+#include "util/rng.hpp"
+
+namespace xd::sparsecut {
+
+/// A RandomNibble run: the sampled inputs plus the inner result.
+struct RandomNibbleResult {
+  VertexId start = 0;
+  int scale = 1;
+  NibbleResult inner;
+};
+
+/// Runs one RandomNibble.  Requires g.volume() > 0.
+RandomNibbleResult random_nibble(const Graph& g, const NibbleParams& prm,
+                                 Rng& rng);
+
+/// Degree-distribution vertex sample (ψ_V): Pr[x = v] = deg(v)/Vol(V).
+/// Exposed for tests; Lemma 10's distributed token descent computes the
+/// same distribution over a BFS tree.
+VertexId sample_by_degree(const Graph& g, Rng& rng);
+
+}  // namespace xd::sparsecut

@@ -1,0 +1,126 @@
+#include "spectral/lazy_walk.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace xd::spectral {
+
+std::vector<double> lazy_step(const Graph& g, const std::vector<double>& p) {
+  const std::size_t n = g.num_vertices();
+  XD_CHECK(p.size() == n);
+  std::vector<double> next(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (p[v] == 0.0) continue;
+    const double deg = g.degree(v);
+    XD_CHECK_MSG(deg > 0, "walk mass on an isolated vertex " << v);
+    next[v] += p[v] / 2.0;
+    const double share = p[v] / (2.0 * deg);
+    for (VertexId u : g.neighbors(v)) {
+      next[u] += share;  // u == v for loop slots: deposits back
+    }
+  }
+  return next;
+}
+
+std::vector<double> lazy_walk(const Graph& g, std::vector<double> p0, int steps) {
+  for (int t = 0; t < steps; ++t) p0 = lazy_step(g, p0);
+  return p0;
+}
+
+double SparseDist::total() const {
+  double s = 0;
+  for (double m : mass) s += m;
+  return s;
+}
+
+SparseDist SparseDist::point(VertexId v) {
+  SparseDist d;
+  d.support.push_back(v);
+  d.mass.push_back(1.0);
+  return d;
+}
+
+SparseDist truncated_step(const Graph& g, const SparseDist& p, double epsilon) {
+  // Pull-based and order-deterministic: each candidate u sums contributions
+  // from its in-neighbors in ascending sender id.  The distributed kernel
+  // implementation sums its inbox in the same order, so the two paths agree
+  // bit-for-bit (validated by DistributedNibble tests).
+  std::unordered_map<VertexId, double> mass_of;
+  mass_of.reserve(p.size() * 2);
+  for (std::size_t i = 0; i < p.size(); ++i) mass_of[p.support[i]] = p.mass[i];
+
+  std::vector<VertexId> candidates;
+  candidates.reserve(p.size() * 4);
+  for (const VertexId v : p.support) {
+    candidates.push_back(v);
+    for (VertexId u : g.neighbors(v)) candidates.push_back(u);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  SparseDist out;
+  std::vector<std::pair<VertexId, double>> incoming;
+  for (const VertexId u : candidates) {
+    const double deg_u = g.degree(u);
+    XD_CHECK_MSG(deg_u > 0, "walk mass on an isolated vertex " << u);
+    incoming.clear();
+    double retained = 0.0;
+    if (const auto it = mass_of.find(u); it != mass_of.end()) {
+      // Lazy half plus loop slots depositing back.
+      retained = it->second / 2.0 +
+                 static_cast<double>(g.loops_at(u)) * it->second / (2.0 * deg_u);
+    }
+    for (VertexId v : g.neighbors(u)) {
+      if (v == u) continue;
+      if (const auto it = mass_of.find(v); it != mass_of.end()) {
+        incoming.emplace_back(v, it->second / (2.0 * g.degree(v)));
+      }
+    }
+    std::sort(incoming.begin(), incoming.end());
+    double m = 0.0;
+    for (const auto& [v, share] : incoming) m += share;
+    m += retained;
+    if (m >= 2.0 * epsilon * deg_u) {
+      out.support.push_back(u);
+      out.mass.push_back(m);
+    }
+  }
+  return out;
+}
+
+std::vector<SparseDist> truncated_walk(const Graph& g, VertexId v, int steps,
+                                       double epsilon) {
+  std::vector<SparseDist> evolution;
+  evolution.reserve(static_cast<std::size_t>(steps) + 1);
+  evolution.push_back(SparseDist::point(v));
+  for (int t = 1; t <= steps; ++t) {
+    evolution.push_back(truncated_step(g, evolution.back(), epsilon));
+    if (evolution.back().size() == 0) break;  // all mass truncated away
+  }
+  return evolution;
+}
+
+std::vector<double> stationary(const Graph& g) {
+  const double vol = static_cast<double>(g.volume());
+  std::vector<double> pi(g.num_vertices(), 0.0);
+  if (vol == 0) return pi;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    pi[v] = g.degree(v) / vol;
+  }
+  return pi;
+}
+
+std::vector<double> normalize_by_degree(const Graph& g,
+                                        const std::vector<double>& p) {
+  XD_CHECK(p.size() == g.num_vertices());
+  std::vector<double> rho(p.size(), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) rho[v] = p[v] / g.degree(v);
+  }
+  return rho;
+}
+
+}  // namespace xd::spectral

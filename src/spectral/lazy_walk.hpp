@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file lazy_walk.hpp
+/// The lazy random walk M = (A D^{-1} + I)/2 and Spielman–Teng truncation.
+///
+/// Self-loop convention (paper, §1): a loop is one adjacency slot, so a step
+/// from v sends p(v)/(2 deg(v)) along every slot; loop slots deposit back at
+/// v.  Equivalently the effective laziness of v is 1/2 + loops(v)/(2 deg v),
+/// which is what makes G{S} simulate G's walk restricted to S.
+///
+/// The truncation operator [p]_ε zeroes p(x) when p(x) < 2 ε deg(x) (paper,
+/// Appendix A); truncated walks have support that grows slowly, which is the
+/// whole reason Nibble is cheap.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xd::spectral {
+
+/// One dense lazy-walk step: returns M p.
+std::vector<double> lazy_step(const Graph& g, const std::vector<double>& p);
+
+/// t dense lazy-walk steps from the distribution `p0`.
+std::vector<double> lazy_walk(const Graph& g, std::vector<double> p0, int steps);
+
+/// Sparse distribution: only the support is materialized.
+struct SparseDist {
+  /// Parallel arrays (vertex, mass), unordered, no duplicates, mass > 0.
+  std::vector<VertexId> support;
+  std::vector<double> mass;
+
+  [[nodiscard]] std::size_t size() const { return support.size(); }
+  /// Σ mass (<= 1 once truncation begins discarding).
+  [[nodiscard]] double total() const;
+
+  /// Point distribution χ_v.
+  static SparseDist point(VertexId v);
+};
+
+/// One sparse lazy-walk step followed by ε-truncation:  [M p]_ε.
+/// Cost O(Vol(support)).
+SparseDist truncated_step(const Graph& g, const SparseDist& p, double epsilon);
+
+/// The full truncated evolution p̃_0 = χ_v, p̃_t = [M p̃_{t-1}]_ε for
+/// t = 1..steps.  Returns all t+1 distributions (index = t).
+std::vector<SparseDist> truncated_walk(const Graph& g, VertexId v, int steps,
+                                       double epsilon);
+
+/// Stationary distribution π(x) = deg(x)/Vol(V).
+std::vector<double> stationary(const Graph& g);
+
+/// ρ(x) = p(x)/deg(x) for a dense p (0 where deg = 0).
+std::vector<double> normalize_by_degree(const Graph& g,
+                                        const std::vector<double>& p);
+
+}  // namespace xd::spectral

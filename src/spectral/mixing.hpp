@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file mixing.hpp
+/// Mixing time and spectral gap of the lazy walk.
+///
+/// The paper leans on the Jerrum–Sinclair relation (§1):
+///   Θ(1/Φ_G)  <=  τ_mix(G)  <=  Θ(log n / Φ_G²),
+/// and Theorem 2's routing uses τ_mix = O(log n / φ²) on each component of
+/// the decomposition.  Experiment E7 reproduces the relation empirically.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xd::spectral {
+
+/// Second-largest eigenvalue λ₂ of the lazy walk matrix M (all eigenvalues
+/// of M lie in [0, 1]).  Power iteration on the symmetrized walk
+/// D^{-1/2} M D^{1/2} with the stationary component deflated.  The spectral
+/// gap 1 - λ₂ controls mixing: τ(ε) <= log(1/(ε π_min)) / (1 - λ₂).
+double lazy_second_eigenvalue(const Graph& g, int iterations = 400);
+
+/// Exact-simulation mixing time: the smallest t such that the walk from the
+/// worst of `starts` sampled start vertices satisfies
+///   max_u |p_t(u) - π(u)| / π(u) <= eps     (relative pointwise distance).
+/// Cost O(starts * t * m); meant for graphs up to a few thousand vertices.
+/// Returns `cap` if not mixed within `cap` steps.
+std::uint32_t mixing_time_simulated(const Graph& g, double eps = 0.25,
+                                    int starts = 3, std::uint32_t cap = 1u << 20);
+
+/// Eigenvalue-based mixing-time estimate log(Vol/ (eps * deg_min)) / (1-λ₂);
+/// cheap and tight enough for round-cost modeling (used by the router).
+std::uint32_t mixing_time_estimate(const Graph& g, double eps = 0.25);
+
+}  // namespace xd::spectral

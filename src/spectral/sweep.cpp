@@ -1,0 +1,79 @@
+#include "spectral/sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace xd::spectral {
+
+double Sweep::conductance(std::size_t j) const {
+  XD_CHECK(j >= 1 && j <= size());
+  const std::uint64_t vol = prefix_volume[j - 1];
+  const std::uint64_t rest = total_volume - vol;
+  const std::uint64_t denom = std::min(vol, rest);
+  if (denom == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(prefix_cut[j - 1]) / static_cast<double>(denom);
+}
+
+VertexSet Sweep::prefix(std::size_t j) const {
+  XD_CHECK(j <= size());
+  return VertexSet(
+      std::vector<VertexId>(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(j)));
+}
+
+Sweep sweep_cut(const Graph& g, const std::vector<double>& rho) {
+  XD_CHECK(rho.size() == g.num_vertices());
+  Sweep s;
+  s.total_volume = g.volume();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (rho[v] > 0.0) s.order.push_back(v);
+  }
+  std::sort(s.order.begin(), s.order.end(), [&](VertexId a, VertexId b) {
+    if (rho[a] != rho[b]) return rho[a] > rho[b];
+    return a < b;
+  });
+
+  s.rho.resize(s.order.size());
+  s.prefix_volume.resize(s.order.size());
+  s.prefix_cut.resize(s.order.size());
+
+  // Incremental cut maintenance: adding v changes the cut by
+  // (non-loop degree of v) - 2 * (edges from v into the prefix so far).
+  std::vector<char> in_prefix(g.num_vertices(), 0);
+  std::uint64_t vol = 0;
+  std::int64_t cut = 0;
+  for (std::size_t j = 0; j < s.order.size(); ++j) {
+    const VertexId v = s.order[j];
+    s.rho[j] = rho[v];
+    vol += g.degree(v);
+    std::int64_t inside = 0;
+    std::int64_t nonloop = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (u == v) continue;
+      ++nonloop;
+      if (in_prefix[u]) ++inside;
+    }
+    cut += nonloop - 2 * inside;
+    XD_CHECK(cut >= 0);
+    in_prefix[v] = 1;
+    s.prefix_volume[j] = vol;
+    s.prefix_cut[j] = static_cast<std::uint64_t>(cut);
+  }
+  return s;
+}
+
+std::size_t best_prefix(const Sweep& sweep) {
+  std::size_t best = 0;
+  double best_phi = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 1; j <= sweep.size(); ++j) {
+    const double phi = sweep.conductance(j);
+    if (phi < best_phi) {
+      best_phi = phi;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace xd::spectral

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Sweep cuts: order vertices by ρ(v) = p(v)/deg(v) descending (ties by id,
+/// as the paper allows "breaking ties arbitrarily, e.g. by comparing IDs")
+/// and evaluate every prefix π(1..j).  Nibble's conditions (C.1)-(C.3) and
+/// their approximate versions (C.1*)-(C.3*) are all predicates over this
+/// sweep data.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/vertex_set.hpp"
+
+namespace xd::spectral {
+
+/// Prefix-by-prefix statistics of a sweep over the positive-ρ vertices.
+struct Sweep {
+  /// Vertices in sweep order π(1), π(2), ... (only those with rho > 0).
+  std::vector<VertexId> order;
+  /// rho value per sweep position.
+  std::vector<double> rho;
+  /// Vol(π(1..j)) per position j (1-based position j = index j-1).
+  std::vector<std::uint64_t> prefix_volume;
+  /// |∂(π(1..j))| per position.
+  std::vector<std::uint64_t> prefix_cut;
+  /// Total graph volume (for conductance denominators).
+  std::uint64_t total_volume = 0;
+
+  [[nodiscard]] std::size_t size() const { return order.size(); }
+
+  /// Conductance of prefix 1..j (1-based j in [1, size()]).
+  [[nodiscard]] double conductance(std::size_t j) const;
+
+  /// The prefix as a VertexSet (1-based j; j = 0 gives the empty set).
+  [[nodiscard]] VertexSet prefix(std::size_t j) const;
+};
+
+/// Builds the sweep for score vector rho (dense; non-positive entries are
+/// excluded from the ordering).  O(m + support log support).
+Sweep sweep_cut(const Graph& g, const std::vector<double>& rho);
+
+/// Position (1-based) of the minimum-conductance prefix, or 0 if empty.
+std::size_t best_prefix(const Sweep& sweep);
+
+}  // namespace xd::spectral

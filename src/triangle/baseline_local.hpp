@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file baseline_local.hpp
+/// Neighborhood-exchange baseline: every vertex ships its full adjacency
+/// list to every neighbor (the obvious LOCAL algorithm, simulated in
+/// CONGEST where a list of deg(v) ids costs deg(v) rounds on one edge).
+/// Rounds ≈ max degree -- Θ(n) on dense graphs, the foil for Theorem 2's
+/// Õ(n^{1/3}) in experiment E4.
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+#include "triangle/clique_dlp.hpp"
+
+namespace xd::triangle {
+
+/// Runs the baseline on g, charging `ledger`.  Every triangle is reported
+/// by each of its vertices; the result is deduplicated.
+EnumerationResult enumerate_local_baseline(const Graph& g,
+                                           congest::RoundLedger& ledger);
+
+}  // namespace xd::triangle

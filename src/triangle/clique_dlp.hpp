@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file clique_dlp.hpp
+/// Dolev–Lenzen–Peled deterministic triangle enumeration in
+/// CONGESTED-CLIQUE ("Tri, tri again", DISC 2012): the O(n^{1/3}/log n)
+/// baseline the paper's Theorem 2 is measured against (§1, §3).
+///
+/// Scheme: split V into p = ⌈n^{1/3}⌉ groups; assign each sorted group
+/// triple {a, b, c} to a proxy vertex; every edge is shipped (via Lenzen
+/// routing, see CliqueNetwork::exchange_lenzen) to the p proxies whose
+/// triple contains its group pair; each proxy joins its edge buckets and
+/// reports the triangles of its triple.  Every triangle has exactly one
+/// sorted triple, so output is duplicate-free by construction.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "congest/clique.hpp"
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+
+namespace xd::triangle {
+
+/// A triangle as a sorted vertex triple.
+using Triangle = std::array<VertexId, 3>;
+
+/// Output of a distributed enumeration run.
+struct EnumerationResult {
+  std::vector<Triangle> triangles;  ///< sorted triples, deduplicated, sorted
+  std::uint64_t rounds = 0;         ///< simulated rounds charged
+};
+
+/// Runs DLP on g in the CONGESTED-CLIQUE model, charging `ledger`.
+EnumerationResult enumerate_clique_dlp(const Graph& g,
+                                       congest::RoundLedger& ledger);
+
+}  // namespace xd::triangle

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file cluster_enum.hpp
+/// Clustered triangle enumeration (Chang–Pettie–Zhang, as used in §3).
+///
+/// For a cluster V_i of the expander decomposition, let
+/// E_i = E(V_i) ∪ ∂(V_i) (every edge with at least one endpoint in V_i).
+/// Any triangle that is not entirely inter-cluster has some edge {u, v}
+/// inside a cluster, and then all three of its edges lie in that cluster's
+/// E_i -- so enumerating all triangles within each E_i covers everything
+/// except triangles whose three edges are all in E* (the inter-cluster
+/// set), which the driver recurses on.
+///
+/// Within the cluster the work is a degree-weighted DLP join: endpoints of
+/// E_i are hashed into p = ⌈n^{1/3}⌉ groups, one virtual proxy per sorted
+/// group triple is hosted round-robin on V_i's vertices, each edge travels
+/// to the p proxies whose triple contains its group pair, and each proxy
+/// joins its buckets.  All traffic moves through the cluster's expander
+/// Router (each vertex sources/sinks O(deg) messages per routing query, so
+/// the batch needs Õ(n^{1/3}) queries -- Theorem 2's budget).
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "graph/graph.hpp"
+#include "routing/router.hpp"
+#include "triangle/clique_dlp.hpp"
+#include "util/rng.hpp"
+
+namespace xd::triangle {
+
+/// Enumerates every triangle of `ambient` whose three edges all lie in
+/// `edge_ids` (the cluster's E_i), where `in_cluster` flags V_i membership.
+///
+/// \param groups    per-vertex group id in [0, p); the driver samples one
+///                  assignment per recursion level and shares it across
+///                  clusters
+/// \param p         group count (⌈n^{1/3}⌉ at the top level)
+/// \param router    preprocessed Router over the cluster subgraph
+/// \param to_local  ambient -> cluster-subgraph vertex ids (for routing)
+std::vector<Triangle> enumerate_cluster(
+    const Graph& ambient, const std::vector<EdgeId>& edge_ids,
+    const std::vector<char>& in_cluster, const std::vector<std::uint32_t>& groups,
+    std::uint32_t p, routing::Router& router,
+    const std::vector<VertexId>& to_local,
+    const std::vector<VertexId>& cluster_vertices);
+
+}  // namespace xd::triangle

@@ -1,0 +1,30 @@
+#include "triangle/detect.hpp"
+
+#include "graph/metrics.hpp"
+#include "util/check.hpp"
+
+namespace xd::triangle {
+
+DetectResult detect_congest(const Graph& g, const EnumParams& prm, Rng& rng,
+                            congest::RoundLedger& ledger) {
+  DetectResult out;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  if (!res.triangles.empty()) out.witness = res.triangles.front();
+  out.rounds = res.rounds;
+  return out;
+}
+
+CountResult count_congest(const Graph& g, const EnumParams& prm, Rng& rng,
+                          congest::RoundLedger& ledger) {
+  CountResult out;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  out.count = res.triangles.size();
+  // Aggregating per-reporter counts to a leader: one BFS-depth
+  // convergecast over the original graph.
+  const auto diameter = diameter_double_sweep(g);
+  ledger.charge(std::max<std::uint64_t>(diameter, 1), "Triangle/count-aggregate");
+  out.rounds = res.rounds + std::max<std::uint64_t>(diameter, 1);
+  return out;
+}
+
+}  // namespace xd::triangle

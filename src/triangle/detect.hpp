@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file detect.hpp
+/// Triangle detection and counting on top of the enumeration machinery.
+///
+/// Theorem 2 "immediately implies an algorithm for triangle detection with
+/// the same number of rounds" (§1); the paper notes the detection lower
+/// bound currently excludes only 1-round algorithms, so the gap is wide
+/// open -- these wrappers expose the upper-bound side.
+
+#include <optional>
+
+#include "triangle/enumerate.hpp"
+
+namespace xd::triangle {
+
+/// Result of a detection run.
+struct DetectResult {
+  std::optional<Triangle> witness;  ///< some triangle, if any exists
+  std::uint64_t rounds = 0;
+};
+
+/// Detects whether g has a triangle (CONGEST, via Theorem 2 enumeration;
+/// the first witness is returned).
+DetectResult detect_congest(const Graph& g, const EnumParams& prm, Rng& rng,
+                            congest::RoundLedger& ledger);
+
+/// Distributed triangle count (CONGEST): the enumeration total plus an
+/// aggregation convergecast charge of O(D) for summing per-vertex counts.
+struct CountResult {
+  std::uint64_t count = 0;
+  std::uint64_t rounds = 0;
+};
+CountResult count_congest(const Graph& g, const EnumParams& prm, Rng& rng,
+                          congest::RoundLedger& ledger);
+
+}  // namespace xd::triangle

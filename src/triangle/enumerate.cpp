@@ -1,0 +1,204 @@
+#include "triangle/enumerate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "congest/network.hpp"
+#include "expander/decomposition.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "routing/hierarchical_router.hpp"
+#include "routing/tree_router.hpp"
+#include "triangle/cluster_enum.hpp"
+#include "util/check.hpp"
+
+namespace xd::triangle {
+
+namespace {
+
+/// Builds the subgraph induced by an edge subset (vertices = endpoints).
+struct EdgeSubgraph {
+  Graph graph;
+  std::vector<VertexId> to_parent;
+  std::vector<VertexId> from_parent;
+  std::vector<EdgeId> edge_to_parent;
+};
+
+EdgeSubgraph subgraph_of_edges(const Graph& g, const std::vector<EdgeId>& edges) {
+  EdgeSubgraph out;
+  out.from_parent.assign(g.num_vertices(), static_cast<VertexId>(-1));
+  for (const EdgeId e : edges) {
+    const auto [u, v] = g.edge(e);
+    for (const VertexId x : {u, v}) {
+      if (out.from_parent[x] == static_cast<VertexId>(-1)) {
+        out.from_parent[x] = static_cast<VertexId>(out.to_parent.size());
+        out.to_parent.push_back(x);
+      }
+    }
+  }
+  GraphBuilder b(out.to_parent.size(), /*allow_parallel=*/true);
+  for (const EdgeId e : edges) {
+    const auto [u, v] = g.edge(e);
+    b.add_edge(out.from_parent[u], out.from_parent[v]);
+    out.edge_to_parent.push_back(e);
+  }
+  out.graph = b.build();
+  return out;
+}
+
+}  // namespace
+
+CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
+                                    Rng& rng, congest::RoundLedger& ledger) {
+  XD_CHECK(prm.epsilon > 0 && prm.epsilon <= 1.0 / 6.0 + 1e-12);
+  CongestEnumResult out;
+  const std::uint64_t before = ledger.rounds();
+
+  const auto p_global = static_cast<std::uint32_t>(std::max(
+      1.0, std::ceil(std::cbrt(static_cast<double>(g.num_vertices())))));
+
+  std::set<Triangle> found;
+  std::vector<EdgeId> current;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!g.is_loop(e)) current.push_back(e);
+  }
+
+  for (int level = 0; level < prm.max_levels && current.size() >= 3; ++level) {
+    out.levels = level + 1;
+    const EdgeSubgraph sub = subgraph_of_edges(g, current);
+
+    // --- 1. Expander decomposition of the surviving subgraph. ---
+    expander::DecompositionParams dprm;
+    dprm.epsilon = prm.epsilon;
+    dprm.k = prm.k;
+    dprm.phi0_override = prm.phi0_override;
+    const auto decomp = expander_decomposition(sub.graph, dprm, rng, ledger);
+
+    // Per-level random group assignment over ambient vertex ids.
+    std::vector<std::uint32_t> groups(g.num_vertices(), 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      groups[v] = static_cast<std::uint32_t>(rng.next_below(p_global));
+    }
+
+    // --- 2+3. Per-cluster routing structure and enumeration. ---
+    std::vector<std::vector<VertexId>> members(decomp.num_components);
+    for (VertexId lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+      members[decomp.component[lv]].push_back(lv);
+    }
+    // Cluster id per ambient vertex (kNone when not in this level's
+    // subgraph).
+    std::vector<std::uint32_t> cluster_of(g.num_vertices(),
+                                          static_cast<std::uint32_t>(-1));
+    for (VertexId lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+      cluster_of[sub.to_parent[lv]] = decomp.component[lv];
+    }
+
+    // E_i lists (ambient edge ids) per cluster; an edge with endpoints in
+    // two clusters joins both lists.
+    std::vector<std::vector<EdgeId>> cluster_edges(decomp.num_components);
+    std::vector<EdgeId> estar;
+    for (const EdgeId e : current) {
+      const auto [u, v] = g.edge(e);
+      const std::uint32_t cu = cluster_of[u];
+      const std::uint32_t cv = cluster_of[v];
+      if (cu == cv) {
+        cluster_edges[cu].push_back(e);
+      } else {
+        cluster_edges[cu].push_back(e);
+        cluster_edges[cv].push_back(e);
+        estar.push_back(e);
+      }
+    }
+
+    for (std::uint32_t c = 0; c < decomp.num_components; ++c) {
+      if (cluster_edges[c].empty() || members[c].empty()) continue;
+      ++out.clusters_processed;
+
+      // Cluster subgraph over ambient ids for the router.
+      std::vector<VertexId> ambient_members;
+      ambient_members.reserve(members[c].size());
+      for (const VertexId lv : members[c]) {
+        ambient_members.push_back(sub.to_parent[lv]);
+      }
+      const SubgraphMap cluster_sub =
+          induced_subgraph(sub.graph, VertexSet(members[c]));
+
+      std::vector<char> in_cluster(g.num_vertices(), 0);
+      std::vector<VertexId> to_local(g.num_vertices(), 0);
+      for (std::size_t i = 0; i < ambient_members.size(); ++i) {
+        in_cluster[ambient_members[i]] = 1;
+        to_local[ambient_members[i]] = static_cast<VertexId>(i);
+      }
+
+      std::vector<Triangle> tris;
+      if (cluster_sub.graph.num_nonloop_edges() == 0 ||
+          ambient_members.size() == 1) {
+        // Single vertex or edgeless cluster: its E_i edges all touch one
+        // vertex, which can join them locally (deg(v) messages over its
+        // own edges -- absorbed into one query charge).
+        ledger.charge(1, "Triangle/tiny-cluster");
+        std::unique_ptr<routing::Router> no_router;
+        // Local join without routing.
+        routing::HierarchicalParams hp;
+        hp.depth = prm.router_depth;
+        hp.tau_mix = 1;
+        routing::HierarchicalRouter local(cluster_sub.graph, ledger, hp);
+        local.preprocess();
+        tris = enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
+                                 p_global, local, to_local, ambient_members);
+        out.router_queries += local.queries();
+      } else if (prm.hierarchical_router) {
+        routing::HierarchicalParams hp;
+        hp.depth = prm.router_depth;
+        routing::HierarchicalRouter router(cluster_sub.graph, ledger, hp);
+        router.preprocess();
+        tris = enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
+                                 p_global, router, to_local, ambient_members);
+        out.router_queries += router.queries();
+      } else {
+        congest::Network cluster_net(cluster_sub.graph, ledger, rng());
+        routing::TreeRouter router(cluster_net);
+        router.preprocess();
+        tris = enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
+                                 p_global, router, to_local, ambient_members);
+        out.router_queries += router.queries();
+      }
+      found.insert(tris.begin(), tris.end());
+    }
+
+    // --- 4. Recurse on E*. ---
+    if (estar.size() >= current.size()) {
+      // No shrink (pathological split): finish the remainder as one
+      // cluster to guarantee termination.
+      const EdgeSubgraph rest = subgraph_of_edges(g, estar);
+      std::vector<char> all(g.num_vertices(), 0);
+      std::vector<VertexId> to_local(g.num_vertices(), 0);
+      std::vector<VertexId> ambient_members;
+      for (std::size_t i = 0; i < rest.to_parent.size(); ++i) {
+        all[rest.to_parent[i]] = 1;
+        to_local[rest.to_parent[i]] = static_cast<VertexId>(i);
+        ambient_members.push_back(rest.to_parent[i]);
+      }
+      routing::HierarchicalParams hp;
+      hp.depth = prm.router_depth;
+      hp.tau_mix = std::max<std::uint32_t>(diameter_double_sweep(rest.graph), 1);
+      routing::HierarchicalRouter router(rest.graph, ledger, hp);
+      router.preprocess();
+      const auto tris = enumerate_cluster(g, estar, all, groups, p_global,
+                                          router, to_local, ambient_members);
+      found.insert(tris.begin(), tris.end());
+      out.router_queries += router.queries();
+      current.clear();
+      break;
+    }
+    current = std::move(estar);
+  }
+
+  out.triangles.assign(found.begin(), found.end());
+  out.rounds = ledger.rounds() - before;
+  return out;
+}
+
+}  // namespace xd::triangle

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file enumerate.hpp
+/// Theorem 2: triangle enumeration in Õ(n^{1/3}) CONGEST rounds.
+///
+/// Per recursion level:
+///   1. expander-decompose the surviving edge set (ε <= 1/6);
+///   2. preprocess a router per cluster (constant-depth GKS structure:
+///      o(n^{1/3}) preprocessing, polylog queries -- the §3 observation
+///      that lifts 2^{O(√log n)} to polylog);
+///   3. run the clustered enumeration on every cluster's E_i;
+///   4. recurse on E* = the inter-cluster edges (every triangle not yet
+///      reported has all three edges there); |E*| <= ε|E| halves the work,
+///      so O(log m) levels suffice.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "expander/params.hpp"
+#include "graph/graph.hpp"
+#include "triangle/clique_dlp.hpp"
+#include "util/rng.hpp"
+
+namespace xd::triangle {
+
+/// Knobs for the CONGEST enumeration.
+struct EnumParams {
+  /// Decomposition budget; the CPZ recursion needs <= 1/6.
+  double epsilon = 1.0 / 6.0;
+  /// Decomposition level count (Theorem 1's k).
+  int k = 2;
+  /// φ₀ override for the decomposition (0 = derived; see
+  /// DecompositionParams::phi0_override).
+  double phi0_override = 0.05;
+  /// Router backend: true = GKS cost model, false = simulated TreeRouter.
+  bool hierarchical_router = true;
+  /// GKS depth parameter (constant, per §3).
+  int router_depth = 2;
+  /// Safety cap on E* recursion levels.
+  int max_levels = 40;
+};
+
+/// Result of the CONGEST enumeration.
+struct CongestEnumResult {
+  std::vector<Triangle> triangles;  ///< deduplicated, sorted
+  std::uint64_t rounds = 0;
+  int levels = 0;
+  std::uint64_t clusters_processed = 0;
+  std::uint64_t router_queries = 0;
+};
+
+/// Runs the Theorem 2 algorithm on g, charging `ledger`.
+CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
+                                    Rng& rng, congest::RoundLedger& ledger);
+
+}  // namespace xd::triangle

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file check.hpp
+/// Throwing precondition / invariant checks (always on, including release
+/// builds). Used to enforce model constraints -- e.g. the CONGEST message
+/// size cap -- where silent violation would invalidate every measured round
+/// count downstream.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xd {
+
+/// Error thrown when an internal invariant or a caller precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace xd
+
+/// Always-on invariant check; throws xd::CheckError with context on failure.
+#define XD_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::xd::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Always-on invariant check with a formatted message streamed after the
+/// condition, e.g. XD_CHECK_MSG(a < b, "a=" << a << " b=" << b).
+#define XD_CHECK_MSG(expr, stream_expr)                             \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream xd_check_os_;                              \
+      xd_check_os_ << stream_expr;                                  \
+      ::xd::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                 xd_check_os_.str());               \
+    }                                                               \
+  } while (false)

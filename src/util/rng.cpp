@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xd {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t id) const {
+  // Mix the current state words with the id through SplitMix64 so forked
+  // streams are decorrelated even for adjacent ids.
+  std::uint64_t sm = s_[0] ^ rotl(s_[3], 13) ^ (id * 0xD1342543DE82EF95ULL);
+  return Rng(splitmix64(sm));
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  XD_CHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  XD_CHECK(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 top bits -> [0, 1) with full double resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double beta) {
+  XD_CHECK(beta > 0.0);
+  // Inverse CDF; 1 - u in (0, 1] avoids log(0).
+  const double u = next_double();
+  return -std::log1p(-u) / beta;
+}
+
+int Rng::next_nibble_scale(int ell) {
+  XD_CHECK(ell >= 1);
+  // Pr[b = i] = 2^{-i} / (1 - 2^{-ell}) for i in [1, ell].
+  const double z = 1.0 - std::ldexp(1.0, -ell);
+  double u = next_double() * z;
+  double acc = 0.0;
+  for (int i = 1; i < ell; ++i) {
+    acc += std::ldexp(1.0, -i);
+    if (u < acc) return i;
+  }
+  return ell;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::size_t Rng::next_weighted(const std::vector<std::uint64_t>& weights) {
+  std::uint64_t total = 0;
+  for (auto w : weights) total += w;
+  XD_CHECK(total > 0);
+  std::uint64_t r = next_below(total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // unreachable; defensive
+}
+
+}  // namespace xd

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// CONGEST gives every vertex its own private randomness and no global
+/// randomness.  We model that with one SplitMix64-seeded xoshiro256** stream
+/// per logical entity: Rng::fork(id) derives an independent stream for vertex
+/// `id` so distributed algorithms are reproducible from a single run seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace xd {
+
+/// xoshiro256** generator seeded via SplitMix64.  Satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions,
+/// although the library provides its own small set of samplers to keep
+/// cross-platform determinism (libstdc++ vs libc++ distributions differ).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64 random bits.
+  std::uint64_t operator()();
+
+  /// Derive an independent stream for sub-entity `id` (e.g. a vertex).
+  /// Deterministic in (this stream's seed, id); does not advance *this.
+  [[nodiscard]] Rng fork(std::uint64_t id) const;
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponential(beta): density beta * exp(-beta x).  Mean 1/beta.
+  /// Used by MPX Clustering(beta) -- each vertex samples its shift locally.
+  double next_exponential(double beta);
+
+  /// Geometric-style sample of b in [1, ell] with Pr[b = i] proportional to
+  /// 2^{-i} (the RandomNibble size parameter distribution).
+  int next_nibble_scale(int ell);
+
+  /// Uniform random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<std::uint32_t> permutation(std::size_t n);
+
+  /// Sample an index in [0, weights.size()) with probability proportional to
+  /// weights[i].  Requires a strictly positive total weight.  Linear scan:
+  /// intended for setup-time sampling, not inner loops.
+  std::size_t next_weighted(const std::vector<std::uint64_t>& weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step; exposed because seeding schemes elsewhere (per-vertex
+/// stream derivation) want the raw mixing function.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace xd

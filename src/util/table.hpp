@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering.  Every experiment bench prints the rows/series the
+/// paper's theorems predict through this formatter so EXPERIMENTS.md and the
+/// bench output stay visually comparable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xd {
+
+/// Column-aligned ASCII table with a title and header row.
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with sensible precision.
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+
+  [[nodiscard]] std::string render() const;
+  /// render() + std::cout flush.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xd

@@ -1,0 +1,73 @@
+#include "triangle/detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace xd::triangle {
+namespace {
+
+TEST(Detect, FindsWitnessWhenTrianglesExist) {
+  Rng rng(1);
+  const Graph g = gen::gnp(50, 0.3, rng);
+  ASSERT_GT(triangle_count_exact(g), 0u);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  const auto res = detect_congest(g, prm, rng, ledger);
+  ASSERT_TRUE(res.witness.has_value());
+  const auto [a, b, c] = *res.witness;
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_TRUE(g.has_edge(b, c));
+  EXPECT_TRUE(g.has_edge(a, c));
+  EXPECT_GT(res.rounds, 0u);
+}
+
+TEST(Detect, NoWitnessOnTriangleFree) {
+  Rng rng(2);
+  const Graph g = gen::grid(7, 7);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  EXPECT_FALSE(detect_congest(g, prm, rng, ledger).witness.has_value());
+}
+
+TEST(Count, MatchesExactAndChargesAggregation) {
+  Rng rng(3);
+  const Graph g = gen::planted_partition(60, 3, 0.5, 0.05, rng);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  const auto res = count_congest(g, prm, rng, ledger);
+  EXPECT_EQ(res.count, triangle_count_exact(g));
+  EXPECT_GT(ledger.rounds_for("Triangle/count-aggregate"), 0u);
+  EXPECT_EQ(res.rounds, ledger.rounds());
+}
+
+TEST(Degeneracy, KnownFamilies) {
+  EXPECT_EQ(degeneracy(gen::path(10)), 1u);       // trees are 1-degenerate
+  EXPECT_EQ(degeneracy(gen::binary_tree(5)), 1u);
+  EXPECT_EQ(degeneracy(gen::cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(gen::complete(7)), 6u);
+  EXPECT_EQ(degeneracy(gen::grid(5, 5)), 2u);
+  EXPECT_EQ(degeneracy(gen::barbell(5)), 4u);     // K5 blocks dominate
+}
+
+TEST(Degeneracy, IgnoresLoopsAndHandlesEmpty) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_loops(0, 5);
+  EXPECT_EQ(degeneracy(b.build()), 1u);
+  EXPECT_EQ(degeneracy(Graph{}), 0u);
+}
+
+TEST(Degeneracy, CpzCaveatQuantified) {
+  // The prior work (CPZ) emits an extra part of arboricity <= n^δ; this
+  // paper removes it.  Sanity-check the metric that caveat is measured in:
+  // arboricity ∈ [⌈degeneracy/2⌉, degeneracy], so a dumbbell of 4-regular
+  // expanders has degeneracy <= 4 while a clique has n-1.
+  Rng rng(4);
+  const Graph g = gen::dumbbell_expanders(50, 50, 4, 2, rng);
+  EXPECT_LE(degeneracy(g), 4u);
+  EXPECT_GE(degeneracy(g), 2u);
+}
+
+}  // namespace
+}  // namespace xd::triangle

@@ -1,0 +1,203 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+#include "util/check.hpp"
+
+namespace xd {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = gen::cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter_exact(g), 3u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = gen::complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(diameter_exact(g), 1u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(diameter_exact(g), 2u);
+}
+
+TEST(Generators, GridAndTorus) {
+  const Graph grid = gen::grid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12u);
+  EXPECT_EQ(grid.num_edges(), 3u * 3 + 4u * 2);  // horizontal + vertical
+  EXPECT_EQ(diameter_exact(grid), 5u);
+
+  const Graph torus = gen::grid(4, 4, /*wrap=*/true);
+  for (VertexId v = 0; v < torus.num_vertices(); ++v) {
+    EXPECT_EQ(torus.degree(v), 4u);
+  }
+  EXPECT_EQ(diameter_exact(torus), 4u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = gen::binary_tree(3);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(diameter_exact(g), 6u);
+}
+
+TEST(Generators, GnpDensityRoughlyRight) {
+  Rng rng(1);
+  const std::size_t n = 300;
+  const double p = 0.1;
+  const Graph g = gen::gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(g.num_edges(), expected, 4 * std::sqrt(expected));
+  EXPECT_EQ(g.num_loops(), 0u);
+}
+
+TEST(Generators, GnpEdgeCases) {
+  Rng rng(2);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, RandomRegularIsRegularAndSimple) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(100, 4, rng);
+  EXPECT_EQ(g.num_edges(), 200u);
+  EXPECT_EQ(g.num_loops(), 0u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  Rng rng(4);
+  EXPECT_THROW((void)gen::random_regular(5, 3, rng), CheckError);
+}
+
+TEST(Generators, RandomRegularIsConnectedExpander) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(200, 6, rng);
+  auto [comp, count] = connected_components(g);
+  (void)comp;
+  EXPECT_EQ(count, 1u);
+  // 6-regular random graphs have small diameter (log n-ish).
+  EXPECT_LE(diameter_double_sweep(g), 8u);
+}
+
+TEST(Generators, BarbellHasBalancedLowConductanceCut) {
+  const Graph g = gen::barbell(6);  // two K6 + bridge edge
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // The clique side is a sparse cut.
+  std::vector<VertexId> left;
+  for (VertexId v = 0; v < 6; ++v) left.push_back(v);
+  const VertexSet s(std::move(left));
+  EXPECT_EQ(cut_size(g, s), 1u);
+  EXPECT_NEAR(balance(g, s), 0.5, 0.02);
+}
+
+TEST(Generators, DumbbellPlantedCutMatches) {
+  Rng rng(6);
+  const Graph g = gen::dumbbell_expanders(60, 60, 4, 3, rng);
+  std::vector<VertexId> left;
+  for (VertexId v = 0; v < 60; ++v) left.push_back(v);
+  const VertexSet s(std::move(left));
+  EXPECT_EQ(cut_size(g, s), 3u);
+  const double phi = conductance(g, s);
+  EXPECT_NEAR(phi, 3.0 / (60 * 4 + 3), 0.002);
+}
+
+TEST(Generators, PlantedPartitionBlocksDenser) {
+  Rng rng(7);
+  const Graph g = gen::planted_partition(100, 2, 0.3, 0.02, rng);
+  std::vector<VertexId> left;
+  for (VertexId v = 0; v < 50; ++v) left.push_back(v);
+  const VertexSet s(std::move(left));
+  EXPECT_LT(conductance(g, s), 0.2);
+}
+
+TEST(Generators, CliqueChainShape) {
+  const Graph g = gen::clique_chain(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 10 + 3u);
+  auto [comp, count] = connected_components(g);
+  (void)comp;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Generators, PreferentialAttachmentDegreesSkewed) {
+  Rng rng(8);
+  const Graph g = gen::preferential_attachment(300, 2, rng);
+  EXPECT_EQ(g.num_loops(), 0u);
+  auto [comp, count] = connected_components(g);
+  (void)comp;
+  EXPECT_EQ(count, 1u);
+  EXPECT_GT(g.max_degree(), 15u);  // hubs emerge
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = gen::lollipop(6, 10);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 15u + 10u);
+  EXPECT_EQ(g.degree(15), 1u);  // tail end
+  EXPECT_EQ(diameter_exact(g), 11u);
+  // Lollipops mix badly: hitting the tail end from the clique is slow.
+  auto [comp, count] = connected_components(g);
+  (void)comp;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Generators, RingOfCliquesShape) {
+  const Graph g = gen::ring_of_cliques(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 5u * 6 + 5u);
+  auto [comp, count] = connected_components(g);
+  (void)comp;
+  EXPECT_EQ(count, 1u);
+  // The clique cut has exactly two crossing edges.
+  std::vector<VertexId> first_clique{0, 1, 2, 3};
+  EXPECT_EQ(cut_size(g, VertexSet(std::move(first_clique))), 2u);
+}
+
+TEST(Generators, WattsStrogatzInterpolates) {
+  Rng r1(1), r2(2);
+  const Graph lattice = gen::watts_strogatz(200, 3, 0.0, r1);
+  const Graph rewired = gen::watts_strogatz(200, 3, 0.3, r2);
+  // Same edge count (rewiring preserves it), much smaller diameter.
+  EXPECT_EQ(lattice.num_edges(), 600u);
+  EXPECT_EQ(rewired.num_edges(), 600u);
+  EXPECT_EQ(lattice.num_loops(), 0u);
+  EXPECT_EQ(rewired.num_loops(), 0u);
+  const auto d_lattice = diameter_double_sweep(lattice);
+  const auto d_rewired = diameter_double_sweep(rewired);
+  EXPECT_GT(d_lattice, 2 * d_rewired);
+}
+
+TEST(Generators, WattsStrogatzRejectsBadParams) {
+  Rng rng(3);
+  EXPECT_THROW((void)gen::watts_strogatz(10, 5, 0.1, rng), CheckError);
+  EXPECT_THROW((void)gen::watts_strogatz(20, 2, 1.5, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace xd

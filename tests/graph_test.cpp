@@ -1,0 +1,118 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xd {
+namespace {
+
+TEST(GraphBuilder, TriangleBasics) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_loops(), 0u);
+  EXPECT_EQ(g.volume(), 6u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(GraphBuilder, SelfLoopCountsOnceInDegree) {
+  // Paper, §1: "each self loop of v contributes 1 in the calculation of
+  // deg(v)".
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_loops(0, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(0), 4u);  // 1 real + 3 loops
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.num_loops(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.loops_at(0), 3u);
+  EXPECT_EQ(g.loops_at(1), 0u);
+  EXPECT_EQ(g.volume(), 5u);
+}
+
+TEST(GraphBuilder, RejectsParallelEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 0);
+  EXPECT_THROW((void)b.build(), CheckError);
+}
+
+TEST(GraphBuilder, AllowsParallelWhenAsked) {
+  GraphBuilder b(3, /*allow_parallel=*/true);
+  b.add_edge(0, 1).add_edge(1, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeVertex) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), CheckError);
+}
+
+TEST(Graph, EdgeEndpointsAndIds) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = b.build();
+  const auto [u0, v0] = g.edge(0);
+  EXPECT_EQ(u0, 0u);
+  EXPECT_EQ(v0, 1u);
+  EXPECT_FALSE(g.is_loop(0));
+
+  // Each non-loop edge id appears in exactly two incidence lists.
+  int appearances = 0;
+  for (VertexId v = 0; v < 4; ++v) {
+    for (EdgeId e : g.incident_edges(v)) appearances += (e == 0);
+  }
+  EXPECT_EQ(appearances, 2);
+}
+
+TEST(Graph, NeighborsOfLoopVertexIncludeSelf) {
+  GraphBuilder b(1);
+  b.add_loops(0, 2);
+  const Graph g = b.build();
+  auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_TRUE(g.is_loop(0));
+}
+
+TEST(Graph, SlotBasePartitionsSlots) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.slot_base(0), 0u);
+  EXPECT_EQ(g.slot_base(1), 1u);
+  EXPECT_EQ(g.slot_base(2), 3u);
+}
+
+TEST(Graph, MaxDegree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  EXPECT_EQ(b.build().max_degree(), 3u);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.volume(), 0u);
+}
+
+TEST(Graph, VolumeIdentity) {
+  // volume == 2 * nonloop + loops.
+  GraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_loops(2, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.volume(), 2 * g.num_nonloop_edges() + g.num_loops());
+}
+
+}  // namespace
+}  // namespace xd

@@ -1,0 +1,129 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xd {
+namespace {
+
+TEST(Metrics, VolumeAndCut) {
+  const Graph g = gen::cycle(6);
+  const VertexSet s{0, 1, 2};
+  EXPECT_EQ(volume(g, s), 6u);
+  EXPECT_EQ(cut_size(g, s), 2u);
+  EXPECT_DOUBLE_EQ(conductance(g, s), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(balance(g, s), 0.5);
+}
+
+TEST(Metrics, LoopsDoNotCrossCuts) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1).add_loops(0, 5);
+  const Graph g = b.build();
+  EXPECT_EQ(cut_size(g, VertexSet{0}), 1u);
+}
+
+TEST(Metrics, ConductanceInfinityForTrivialCut) {
+  const Graph g = gen::cycle(4);
+  EXPECT_TRUE(std::isinf(conductance(g, VertexSet{})));
+}
+
+TEST(Metrics, ExactConductanceOfCycleAndClique) {
+  // Cycle C_n: optimal cut is an arc of n/2, conductance 2/(n/2 * 2) = 2/n.
+  const Graph c8 = gen::cycle(8);
+  EXPECT_NEAR(conductance_exact(c8), 2.0 / 8.0, 1e-12);
+
+  // K_n: conductance = ceil(n/2)*floor(n/2) / (floor(n/2)*(n-1)).
+  const Graph k6 = gen::complete(6);
+  EXPECT_NEAR(conductance_exact(k6), 9.0 / 15.0, 1e-12);
+}
+
+TEST(Metrics, MostBalancedCutExactOnBarbell) {
+  const Graph g = gen::barbell(4);  // two K4 joined by an edge
+  const auto cut = most_balanced_cut_exact(g, 0.2);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_NEAR(balance(g, *cut), 0.5, 0.03);
+  EXPECT_LE(conductance(g, *cut), 0.2);
+}
+
+TEST(Metrics, MostBalancedCutAbsentWhenExpanding) {
+  const Graph g = gen::complete(8);
+  EXPECT_FALSE(most_balanced_cut_exact(g, 0.05).has_value());
+}
+
+TEST(Metrics, BfsDistancesOnPath) {
+  const Graph g = gen::path(5);
+  const auto d = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Metrics, BfsUnreachableIsMax) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto d = bfs_distances(b.build(), 0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Metrics, DiameterDoubleSweepMatchesExactOnTrees) {
+  const Graph g = gen::binary_tree(4);
+  EXPECT_EQ(diameter_double_sweep(g), diameter_exact(g));
+}
+
+TEST(Metrics, TrianglesOfCompleteGraph) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(triangle_count_exact(g), 20u);  // C(6,3)
+  const auto tris = triangles_exact(g);
+  EXPECT_EQ(tris.size(), 20u);
+  for (const auto& t : tris) {
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+  }
+}
+
+TEST(Metrics, TriangleFreeGraphs) {
+  EXPECT_EQ(triangle_count_exact(gen::cycle(8)), 0u);
+  EXPECT_EQ(triangle_count_exact(gen::grid(4, 4)), 0u);
+  EXPECT_EQ(triangle_count_exact(gen::hypercube(4)), 0u);
+}
+
+TEST(Metrics, TriangleCountIgnoresLoops) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).add_loops(0, 4);
+  EXPECT_EQ(triangle_count_exact(b.build()), 1u);
+}
+
+TEST(Metrics, TriangleCountGnpMatchesExpectation) {
+  Rng rng(11);
+  const Graph g = gen::gnp(60, 0.3, rng);
+  // E[triangles] = C(60,3) p^3 ~ 924. Just sanity-check the order.
+  const auto count = triangle_count_exact(g);
+  EXPECT_GT(count, 500u);
+  EXPECT_LT(count, 1600u);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  Rng rng(12);
+  const Graph g = gen::gnp(20, 0.3, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edge(e), h.edge(e));
+  }
+}
+
+TEST(Io, RejectsTruncatedInput) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW((void)read_edge_list(ss), CheckError);
+}
+
+}  // namespace
+}  // namespace xd

@@ -1,0 +1,132 @@
+// Dedicated coverage for Phase 2 of the expander decomposition (the level
+// schedule with Remove-3 rip-outs).  Phase 2 is entered when the nearly
+// most balanced sparse cut is *tiny* -- Vol(C) <= min(ε/12, 1/48) Vol(U) --
+// which needs a graph whose only sparse cut has minuscule balance and a
+// persistent Partition (tiny cuts are hit with probability proportional to
+// their volume).
+
+#include <gtest/gtest.h>
+
+#include "expander/decomposition.hpp"
+#include "sparsecut/partition.hpp"
+#include "expander/verify.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/subgraph.hpp"
+
+namespace xd::expander {
+namespace {
+
+/// K_core clique with one K_wart pendant clique attached by a single edge.
+Graph warted_clique(std::size_t core, std::size_t wart) {
+  GraphBuilder b(core + wart);
+  for (VertexId i = 0; i < core; ++i) {
+    for (VertexId j = i + 1; j < core; ++j) b.add_edge(i, j);
+  }
+  for (VertexId i = 0; i < wart; ++i) {
+    for (VertexId j = i + 1; j < wart; ++j) {
+      b.add_edge(static_cast<VertexId>(core + i),
+                 static_cast<VertexId>(core + j));
+    }
+  }
+  b.add_edge(0, static_cast<VertexId>(core));
+  return b.build();
+}
+
+TEST(Phase2, RipOutOnWartedClique) {
+  // K40 core (vol 1560) + K6 wart (vol 31): wart conductance 1/31 = 0.032,
+  // wart volume share 0.019 < min(ε/12, 1/48) = 0.0208 -> Phase 2 entry.
+  // With phi0 = 0.3 the level-1 target phi1 = 0.05 still sees the wart, so
+  // Phase 2 rips it out: 6 singleton components plus the core.
+  const Graph g = warted_clique(40, 6);
+  DecompositionParams prm;
+  prm.epsilon = 0.25;
+  prm.k = 1;
+  prm.phi0_override = 0.3;
+  prm.thorough_partition = true;
+
+  bool saw_phase2 = false;
+  for (int seed = 1; seed <= 5 && !saw_phase2; ++seed) {
+    Rng rng(seed);
+    congest::RoundLedger ledger;
+    const auto res = expander_decomposition(g, prm, rng, ledger);
+    const auto report =
+        verify_decomposition(g, res, prm.epsilon, res.schedule.phi_final());
+    EXPECT_TRUE(report.is_partition);
+    if (res.phase2_entries > 0) {
+      saw_phase2 = true;
+      // The rip-out produced singletons and charged Remove-3.
+      EXPECT_GT(res.singleton_components, 0u);
+      EXPECT_GT(res.removed_by[2], 0u);
+      // Lemma 2: ripped volume (= 2 * Remove-3 edges + boundary) stays
+      // within m1 = (ε/6) Vol; the edge count alone is a weaker proxy.
+      EXPECT_LE(static_cast<double>(res.removed_by[2]),
+                (prm.epsilon / 6.0) * static_cast<double>(g.volume()));
+      // The core survives as one big component.
+      std::vector<std::size_t> sizes(res.num_components, 0);
+      std::size_t biggest = 0;
+      for (auto c : res.component) biggest = std::max(biggest, ++sizes[c]);
+      EXPECT_GE(biggest, 40u);
+    }
+  }
+  EXPECT_TRUE(saw_phase2)
+      << "no seed entered Phase 2; the entry threshold or persistence knob "
+         "regressed";
+}
+
+TEST(Phase2, LevelScheduleNeverExceedsK) {
+  // Even under thorough partitioning with several warts, the level index
+  // stays within [1, k] (the m_k/(2τ) = 1/2 identity) and the result is a
+  // valid partition.
+  GraphBuilder b(60 + 12);
+  for (VertexId i = 0; i < 60; ++i) {
+    for (VertexId j = i + 1; j < 60; ++j) b.add_edge(i, j);
+  }
+  for (int w = 0; w < 2; ++w) {
+    const auto base = static_cast<VertexId>(60 + w * 6);
+    for (VertexId i = 0; i < 6; ++i) {
+      for (VertexId j = i + 1; j < 6; ++j) {
+        b.add_edge(base + i, base + j);
+      }
+    }
+    b.add_edge(static_cast<VertexId>(w), base);
+  }
+  const Graph g = b.build();
+
+  DecompositionParams prm;
+  prm.epsilon = 0.25;
+  prm.k = 3;
+  prm.phi0_override = 0.3;
+  prm.thorough_partition = true;
+  Rng rng(7);
+  congest::RoundLedger ledger;
+  const auto res = expander_decomposition(g, prm, rng, ledger);
+  const auto report =
+      verify_decomposition(g, res, prm.epsilon, res.schedule.phi_final());
+  EXPECT_TRUE(report.is_partition);
+  EXPECT_TRUE(report.cut_within_epsilon)
+      << "cut fraction " << report.cut_fraction;
+}
+
+TEST(Phase2, ThoroughFindsTinyCutPlainMisses) {
+  // The persistence knob is what makes tiny cuts findable: statistically,
+  // thorough mode should find the wart at least as often as the fast mode.
+  const Graph g = warted_clique(40, 6);
+  int found_fast = 0;
+  int found_thorough = 0;
+  for (int seed = 1; seed <= 5; ++seed) {
+    Rng r1(seed), r2(seed);
+    congest::RoundLedger l1, l2;
+    const auto fast = sparsecut::nearly_most_balanced_sparse_cut(
+        g, 0.05, sparsecut::Preset::kPractical, r1, l1, std::nullopt, false);
+    const auto thorough = sparsecut::nearly_most_balanced_sparse_cut(
+        g, 0.05, sparsecut::Preset::kPractical, r2, l2, std::nullopt, true);
+    found_fast += fast.found();
+    found_thorough += thorough.found();
+  }
+  EXPECT_GE(found_thorough, found_fast);
+  EXPECT_GE(found_thorough, 3);
+}
+
+}  // namespace
+}  // namespace xd::expander

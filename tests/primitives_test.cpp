@@ -1,0 +1,231 @@
+#include "primitives/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "primitives/aggregate.hpp"
+#include "primitives/sampling.hpp"
+
+namespace xd::prim {
+namespace {
+
+using congest::Network;
+using congest::RoundLedger;
+
+std::vector<char> all_active(std::size_t n) { return std::vector<char>(n, 1); }
+
+TEST(ElectLeaders, MinIdWinsPerComponent) {
+  GraphBuilder b(6);
+  b.add_edge(2, 3).add_edge(3, 4).add_edge(0, 5);
+  const Graph g = b.build();
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const auto leaders = elect_leaders(net, all_active(6), "elect");
+  EXPECT_EQ(leaders[2], 2u);
+  EXPECT_EQ(leaders[3], 2u);
+  EXPECT_EQ(leaders[4], 2u);
+  EXPECT_EQ(leaders[0], 0u);
+  EXPECT_EQ(leaders[5], 0u);
+  EXPECT_EQ(leaders[1], 1u);  // isolated
+}
+
+TEST(ElectLeaders, RespectsActiveMask) {
+  const Graph g = gen::path(4);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  std::vector<char> active{1, 0, 1, 1};  // vertex 1 cut out
+  const auto leaders = elect_leaders(net, active, "elect");
+  EXPECT_EQ(leaders[0], 0u);
+  EXPECT_EQ(leaders[1], kNoVertex);
+  EXPECT_EQ(leaders[2], 2u);  // 2-3 separated from 0
+  EXPECT_EQ(leaders[3], 2u);
+}
+
+TEST(ElectLeaders, RoundsScaleWithDiameter) {
+  const Graph g = gen::path(32);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  (void)elect_leaders(net, all_active(32), "elect");
+  // Information from vertex 0 must reach vertex 31: >= 31 exchanges.
+  EXPECT_GE(ledger.rounds(), 31u);
+  EXPECT_LE(ledger.rounds(), 40u);
+}
+
+TEST(BuildForest, SpanningTreePerComponent) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(4, 5);
+  const Graph g = b.build();
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(7), "forest");
+
+  EXPECT_EQ(f.root[0], 0u);
+  EXPECT_EQ(f.root[3], 0u);
+  EXPECT_EQ(f.root[4], 4u);
+  EXPECT_EQ(f.root[5], 4u);
+  EXPECT_EQ(f.root[6], 6u);
+  EXPECT_EQ(f.roots(), (std::vector<VertexId>{0, 4, 6}));
+
+  // Depths are BFS distances from the roots.
+  EXPECT_EQ(f.depth[3], 3u);
+  EXPECT_EQ(f.height, 3u);
+
+  // Parent/children are consistent.
+  for (VertexId v = 0; v < 7; ++v) {
+    if (!f.is_active(v) || f.parent[v] == v) continue;
+    const auto& kids = f.children[f.parent[v]];
+    EXPECT_NE(std::find(kids.begin(), kids.end(), v), kids.end());
+  }
+}
+
+TEST(BuildForest, DepthMatchesBfsDistanceOnTorus) {
+  const Graph g = gen::grid(5, 5, /*wrap=*/true);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(g.num_vertices()), "forest");
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(f.depth[v], dist[v]) << "vertex " << v;
+    EXPECT_EQ(f.root[v], 0u);
+  }
+}
+
+TEST(BuildForestFromRoots, UnreachedVerticesInactive) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = b.build();
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f =
+      build_forest_from_roots(net, all_active(4), {0}, "forest");
+  EXPECT_TRUE(f.is_active(1));
+  EXPECT_FALSE(f.is_active(2));
+  EXPECT_FALSE(f.is_active(3));
+}
+
+TEST(Convergecast, SubtreeSumsExact) {
+  const Graph g = gen::binary_tree(3);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(g.num_vertices()), "forest");
+
+  std::vector<std::uint64_t> ones(g.num_vertices(), 1);
+  const auto sums = convergecast_sum(net, f, ones, "sum");
+  EXPECT_EQ(sums[0], g.num_vertices());  // root counts everyone
+
+  // Every subtree sum equals 1 + children's sums.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint64_t expect = 1;
+    for (VertexId c : f.children[v]) expect += sums[c];
+    EXPECT_EQ(sums[v], expect);
+  }
+}
+
+TEST(Convergecast, MinMax) {
+  const Graph g = gen::path(5);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(5), "forest");
+  std::vector<std::uint64_t> vals{7, 3, 9, 1, 5};
+  EXPECT_EQ(convergecast_min(net, f, vals, "min")[0], 1u);
+  EXPECT_EQ(convergecast_max(net, f, vals, "max")[0], 9u);
+}
+
+TEST(Convergecast, CostsHeightExchanges) {
+  const Graph g = gen::path(17);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(17), "forest");
+  ledger.reset();
+  std::vector<std::uint64_t> ones(17, 1);
+  (void)convergecast_sum(net, f, ones, "sum");
+  EXPECT_EQ(ledger.rounds(), f.height);
+}
+
+TEST(Broadcast, DeliversRootValueEverywhere) {
+  const Graph g = gen::grid(4, 4);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(16), "forest");
+  std::vector<std::uint64_t> root_val(16, 0);
+  root_val[0] = 424242;
+  const auto got = broadcast_from_roots(net, f, root_val, "bcast");
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(got[v], 424242u);
+}
+
+TEST(Broadcast, PerComponentValues) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1).add_edge(2, 3).add_edge(3, 4);
+  const Graph g = b.build();
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(5), "forest");
+  std::vector<std::uint64_t> root_val(5, 0);
+  root_val[0] = 10;
+  root_val[2] = 20;
+  const auto got = broadcast_from_roots(net, f, root_val, "bcast");
+  EXPECT_EQ(got[1], 10u);
+  EXPECT_EQ(got[4], 20u);
+}
+
+TEST(SampleByWeight, ExactCountAndSupport) {
+  const Graph g = gen::grid(4, 4, /*wrap=*/true);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(16), "forest");
+
+  std::vector<std::uint64_t> weight(16);
+  for (VertexId v = 0; v < 16; ++v) weight[v] = g.degree(v);
+
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> tokens(16);
+  tokens[0] = {{1, 200}, {2, 100}};
+  const auto samples = sample_by_weight(net, f, weight, tokens, "sample");
+  EXPECT_EQ(samples.size(), 300u);
+  std::map<int, int> by_scale;
+  for (const auto& s : samples) {
+    EXPECT_LT(s.vertex, 16u);
+    ++by_scale[s.scale];
+  }
+  EXPECT_EQ(by_scale[1], 200);
+  EXPECT_EQ(by_scale[2], 100);
+}
+
+TEST(SampleByWeight, MatchesDegreeDistribution) {
+  // On a star, the hub has weight (n-1) and each leaf 1, so the hub should
+  // receive about half the samples.
+  const Graph g = gen::star(11);  // hub deg 10, total vol 20
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(11), "forest");
+  std::vector<std::uint64_t> weight(11);
+  for (VertexId v = 0; v < 11; ++v) weight[v] = g.degree(v);
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> tokens(11);
+  const std::uint64_t total = 4000;
+  tokens[0] = {{1, total}};
+  const auto samples = sample_by_weight(net, f, weight, tokens, "sample");
+  std::size_t hub = 0;
+  for (const auto& s : samples) hub += (s.vertex == 0);
+  EXPECT_NEAR(static_cast<double>(hub), total / 2.0, 120.0);
+}
+
+TEST(SampleByWeight, ZeroWeightVerticesNeverSampled) {
+  const Graph g = gen::path(6);
+  RoundLedger ledger;
+  Network net(g, ledger);
+  const Forest f = build_forest(net, all_active(6), "forest");
+  std::vector<std::uint64_t> weight(6, 1);
+  weight[2] = 0;
+  weight[4] = 0;
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> tokens(6);
+  tokens[0] = {{1, 500}};
+  for (const auto& s : sample_by_weight(net, f, weight, tokens, "sample")) {
+    EXPECT_NE(s.vertex, 2u);
+    EXPECT_NE(s.vertex, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace xd::prim

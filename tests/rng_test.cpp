@@ -1,0 +1,142 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng base(7);
+  Rng f1 = base.fork(10);
+  Rng f2 = base.fork(10);
+  EXPECT_EQ(f1(), f2());
+  // Adjacent fork ids decorrelated.
+  Rng g1 = base.fork(10);
+  Rng g3 = base.fork(11);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (g1() == g3());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.fork(3);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto x = rng.next_below(10);
+    ASSERT_LT(x, 10u);
+    ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, trials / 100);
+  }
+}
+
+TEST(Rng, NextIntBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.next_int(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  EXPECT_EQ(rng.next_int(3, 3), 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  const double beta = 0.5;
+  double sum = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_exponential(beta);
+  EXPECT_NEAR(sum / trials, 1.0 / beta, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveBeta) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_exponential(0.0), CheckError);
+}
+
+TEST(Rng, NibbleScaleDistribution) {
+  // Pr[b = i] = 2^{-i} / (1 - 2^{-ell}).
+  Rng rng(99);
+  const int ell = 5;
+  std::vector<int> counts(ell + 1, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const int b = rng.next_nibble_scale(ell);
+    ASSERT_GE(b, 1);
+    ASSERT_LE(b, ell);
+    ++counts[b];
+  }
+  const double z = 1.0 - std::ldexp(1.0, -ell);
+  for (int i = 1; i <= ell; ++i) {
+    const double expected = trials * std::ldexp(1.0, -i) / z;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected) + 30.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  const auto perm = rng.permutation(100);
+  std::vector<char> seen(100, 0);
+  for (auto v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(Rng, WeightedSamplingProportional) {
+  Rng rng(17);
+  const std::vector<std::uint64_t> weights{1, 0, 3};
+  std::vector<int> counts(3, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], trials / 4, trials / 50);
+  EXPECT_NEAR(counts[2], 3 * trials / 4, trials / 50);
+}
+
+TEST(Rng, WeightedSamplingRejectsZeroTotal) {
+  Rng rng(1);
+  std::vector<std::uint64_t> weights{0, 0};
+  EXPECT_THROW(rng.next_weighted(weights), CheckError);
+}
+
+}  // namespace
+}  // namespace xd

@@ -1,0 +1,143 @@
+#include "primitives/tree_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "primitives/forest.hpp"
+#include "util/check.hpp"
+
+namespace xd::prim {
+namespace {
+
+using congest::Network;
+using congest::RoundLedger;
+
+/// Centralized oracle: the rank-j vertex and prefix weight by (key desc,
+/// id asc) order.
+std::pair<VertexId, std::uint64_t> oracle(const std::vector<double>& keys,
+                                          const std::vector<std::uint64_t>& weights,
+                                          const std::vector<char>& member,
+                                          std::uint64_t j) {
+  std::vector<VertexId> order;
+  for (VertexId v = 0; v < keys.size(); ++v) {
+    if (member[v]) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (keys[a] != keys[b]) return keys[a] > keys[b];
+    return a < b;
+  });
+  std::uint64_t w = 0;
+  for (std::uint64_t i = 0; i < j; ++i) w += weights[order[i]];
+  return {order[j - 1], w};
+}
+
+class RankSelectOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSelectOracle, MatchesCentralizedOrder) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::random_regular(60, 4, rng);
+  RoundLedger ledger;
+  Network net(g, ledger, static_cast<std::uint64_t>(seed));
+  const std::vector<char> active(60, 1);
+  const Forest f = build_forest(net, active, "forest");
+  const VertexId root = f.roots()[0];
+
+  std::vector<double> keys(60);
+  std::vector<std::uint64_t> weights(60);
+  for (VertexId v = 0; v < 60; ++v) {
+    keys[v] = rng.next_double();
+    weights[v] = 1 + rng.next_below(5);
+  }
+  // Plant some equal keys to exercise the id tie-break.
+  keys[10] = keys[20] = keys[30];
+
+  for (const std::uint64_t j : {1ull, 2ull, 17ull, 30ull, 59ull, 60ull}) {
+    const auto got = rank_select(net, f, root, keys, weights, j, "select");
+    ASSERT_TRUE(got.has_value()) << "j=" << j;
+    const auto [expect_v, expect_w] = oracle(keys, weights, active, j);
+    EXPECT_EQ(got->vertex, expect_v) << "j=" << j;
+    EXPECT_EQ(got->prefix_weight, expect_w) << "j=" << j;
+    EXPECT_DOUBLE_EQ(got->key, keys[expect_v]);
+    EXPECT_GE(got->pivots, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankSelectOracle, ::testing::Values(1, 2, 3, 4));
+
+TEST(RankSelect, OutOfRangeReturnsNullopt) {
+  Rng rng(9);
+  const Graph g = gen::cycle(10);
+  RoundLedger ledger;
+  Network net(g, ledger, 9);
+  const std::vector<char> active(10, 1);
+  const Forest f = build_forest(net, active, "forest");
+  std::vector<double> keys(10, 1.0);
+  std::vector<std::uint64_t> weights(10, 1);
+  EXPECT_FALSE(
+      rank_select(net, f, f.roots()[0], keys, weights, 11, "select").has_value());
+}
+
+TEST(RankSelect, RespectsTreeMembership) {
+  // Two components: selection in one tree never returns the other's
+  // vertices.
+  GraphBuilder b(8);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4).add_edge(4, 5).add_edge(5, 6);
+  const Graph g = b.build();
+  RoundLedger ledger;
+  Network net(g, ledger, 3);
+  std::vector<char> active(8, 1);
+  active[7] = 0;
+  const Forest f = build_forest(net, active, "forest");
+  std::vector<double> keys(8);
+  for (VertexId v = 0; v < 8; ++v) keys[v] = static_cast<double>(v);
+  std::vector<std::uint64_t> weights(8, 1);
+
+  const auto got = rank_select(net, f, 3, keys, weights, 1, "select");
+  ASSERT_TRUE(got.has_value());
+  // Rank 1 = largest key within tree {3,4,5,6} = vertex 6.
+  EXPECT_EQ(got->vertex, 6u);
+  EXPECT_FALSE(rank_select(net, f, 3, keys, weights, 5, "select").has_value());
+}
+
+TEST(CountPrefix, CountsAndWeights) {
+  Rng rng(5);
+  const Graph g = gen::path(6);
+  RoundLedger ledger;
+  Network net(g, ledger, 5);
+  const std::vector<char> active(6, 1);
+  const Forest f = build_forest(net, active, "forest");
+  std::vector<double> keys{0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+  std::vector<std::uint64_t> weights{1, 2, 3, 4, 5, 6};
+  const auto [count, weight] =
+      count_prefix(net, f, 0, keys, weights, OrderKey{0.7, 2}, "count");
+  EXPECT_EQ(count, 3u);       // keys 0.9, 0.8, 0.7
+  EXPECT_EQ(weight, 1u + 2 + 3);
+}
+
+TEST(RankSelect, RoundCostScalesWithHeightTimesLogn) {
+  // Lemma 9's bill: O(height * log n) per query.
+  Rng rng(11);
+  const Graph g = gen::path(64);
+  RoundLedger ledger;
+  Network net(g, ledger, 11);
+  const std::vector<char> active(64, 1);
+  const Forest f = build_forest(net, active, "forest");
+  std::vector<double> keys(64);
+  std::vector<std::uint64_t> weights(64, 1);
+  for (VertexId v = 0; v < 64; ++v) keys[v] = rng.next_double();
+
+  ledger.reset();
+  const auto got = rank_select(net, f, 0, keys, weights, 32, "select");
+  ASSERT_TRUE(got.has_value());
+  // Each pivot costs ~3 height-passes (sample + 2 convergecasts); with
+  // O(log n) expected pivots the total should stay well under
+  // 20 * height * log2(n).
+  EXPECT_LE(ledger.rounds(), 20u * f.height * 6);
+  EXPECT_GE(ledger.rounds(), f.height);
+}
+
+}  // namespace
+}  // namespace xd::prim

@@ -1,0 +1,161 @@
+#include "triangle/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "triangle/baseline_local.hpp"
+#include "triangle/clique_dlp.hpp"
+#include "util/check.hpp"
+
+namespace xd::triangle {
+namespace {
+
+std::vector<Triangle> ground_truth(const Graph& g) {
+  auto tris = triangles_exact(g);
+  std::sort(tris.begin(), tris.end());
+  return tris;
+}
+
+TEST(LocalBaseline, ExactOnGnp) {
+  Rng rng(1);
+  const Graph g = gen::gnp(60, 0.2, rng);
+  congest::RoundLedger ledger;
+  const auto res = enumerate_local_baseline(g, ledger);
+  EXPECT_EQ(res.triangles, ground_truth(g));
+  EXPECT_GE(res.rounds, g.max_degree());
+}
+
+TEST(LocalBaseline, RoundsScaleWithMaxDegree) {
+  const Graph star = gen::star(100);
+  congest::RoundLedger ledger;
+  const auto res = enumerate_local_baseline(star, ledger);
+  EXPECT_TRUE(res.triangles.empty());
+  EXPECT_GE(res.rounds, 99u);
+}
+
+class DlpExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(DlpExactness, MatchesGroundTruth) {
+  Rng rng(GetParam());
+  const Graph g = gen::gnp(70, 0.25, rng);
+  congest::RoundLedger ledger;
+  const auto res = enumerate_clique_dlp(g, ledger);
+  EXPECT_EQ(res.triangles, ground_truth(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DlpExactness, ::testing::Values(1, 2, 3));
+
+TEST(Dlp, DenseRoundsScaleLikeCubeRoot) {
+  // On G(n, 1/2) the DLP bound is Θ(n^{1/3}); doubling n should grow
+  // rounds by ~2^{1/3} = 1.26, certainly below 2x.
+  Rng rng(7);
+  const Graph g1 = gen::gnp(64, 0.5, rng);
+  const Graph g2 = gen::gnp(128, 0.5, rng);
+  congest::RoundLedger l1, l2;
+  const auto r1 = enumerate_clique_dlp(g1, l1);
+  const auto r2 = enumerate_clique_dlp(g2, l2);
+  EXPECT_LT(r2.rounds, r1.rounds * 2);
+  EXPECT_GT(r2.rounds, r1.rounds / 2);
+}
+
+TEST(Dlp, EmptyAndTinyGraphs) {
+  congest::RoundLedger ledger;
+  EXPECT_TRUE(enumerate_clique_dlp(gen::path(2), ledger).triangles.empty());
+  EXPECT_EQ(enumerate_clique_dlp(gen::complete(3), ledger).triangles.size(), 1u);
+}
+
+class CongestEnumExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CongestEnumExactness, MatchesGroundTruthOnGnp) {
+  Rng rng(GetParam() * 13);
+  const Graph g = gen::gnp(60, 0.3, rng);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  EXPECT_EQ(res.triangles, ground_truth(g));
+  EXPECT_GT(res.rounds, 0u);
+}
+
+TEST_P(CongestEnumExactness, MatchesGroundTruthOnClusteredGraph) {
+  // Clustered graphs force a non-trivial decomposition and a real E*
+  // recursion: triangles can straddle clusters.
+  Rng rng(GetParam() * 29);
+  const Graph g = gen::planted_partition(80, 4, 0.5, 0.05, rng);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  EXPECT_EQ(res.triangles, ground_truth(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongestEnumExactness, ::testing::Values(1, 2, 3));
+
+TEST(CongestEnum, DumbbellWithBridgeTriangles) {
+  // Bridge edges between the communities form cross-cluster triangles --
+  // the E* path must catch them.
+  Rng rng(31);
+  GraphBuilder b(20);
+  // Two K_8s.
+  for (VertexId i = 0; i < 8; ++i) {
+    for (VertexId j = i + 1; j < 8; ++j) {
+      b.add_edge(i, j);
+      b.add_edge(10 + i, 10 + j);
+    }
+  }
+  // A cross triangle: 0-10, 0-11, 10-11 already in K8; plus spares 8, 9.
+  b.add_edge(0, 10).add_edge(0, 11);
+  b.add_edge(8, 9).add_edge(7, 8).add_edge(7, 9);
+  const Graph g = b.build();
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  prm.phi0_override = 0.1;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  EXPECT_EQ(res.triangles, ground_truth(g));
+  // The cross triangle {0, 10, 11} must be present.
+  EXPECT_TRUE(std::binary_search(res.triangles.begin(), res.triangles.end(),
+                                 Triangle{0, 10, 11}));
+}
+
+TEST(CongestEnum, TreeRouterBackendAgrees) {
+  Rng rng(37);
+  const Graph g = gen::gnp(50, 0.3, rng);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  prm.hierarchical_router = false;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  EXPECT_EQ(res.triangles, ground_truth(g));
+}
+
+TEST(CongestEnum, TriangleFreeGraphs) {
+  Rng rng(41);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  for (const Graph& g : {gen::cycle(40), gen::grid(6, 6), gen::hypercube(5)}) {
+    Rng r(41);
+    congest::RoundLedger l;
+    EXPECT_TRUE(enumerate_congest(g, prm, r, l).triangles.empty());
+  }
+}
+
+TEST(CongestEnum, RejectsOversizedEpsilon) {
+  Rng rng(43);
+  const Graph g = gen::complete(10);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  prm.epsilon = 0.5;  // CPZ needs <= 1/6
+  EXPECT_THROW((void)enumerate_congest(g, prm, rng, ledger), CheckError);
+}
+
+TEST(CongestEnum, ReportsDiagnostics) {
+  Rng rng(47);
+  const Graph g = gen::planted_partition(60, 3, 0.5, 0.05, rng);
+  congest::RoundLedger ledger;
+  EnumParams prm;
+  const auto res = enumerate_congest(g, prm, rng, ledger);
+  EXPECT_GE(res.levels, 1);
+  EXPECT_GE(res.clusters_processed, 1u);
+  EXPECT_EQ(res.rounds, ledger.rounds());
+}
+
+}  // namespace
+}  // namespace xd::triangle

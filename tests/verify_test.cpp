@@ -1,0 +1,117 @@
+// Direct tests of the decomposition verifier: it must catch bad
+// decompositions, not just bless good ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expander/verify.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace xd::expander {
+namespace {
+
+/// Hand-built DecompositionResult with the given labels and no removals.
+DecompositionResult fake(const Graph& g, std::vector<std::uint32_t> component,
+                         std::size_t count) {
+  DecompositionResult res;
+  res.component = std::move(component);
+  res.num_components = count;
+  res.removed_edge.assign(g.num_edges(), 0);
+  return res;
+}
+
+TEST(Verifier, BlessesTheTrivialDecomposition) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(60, 6, rng);
+  const auto res = fake(g, std::vector<std::uint32_t>(60, 0), 1);
+  const auto report = verify_decomposition(g, res, 0.1, 0.05);
+  EXPECT_TRUE(report.is_partition);
+  EXPECT_EQ(report.inter_component_edges, 0u);
+  EXPECT_TRUE(report.cut_within_epsilon);
+  // A 6-regular expander comfortably certifies phi = 0.05.
+  EXPECT_TRUE(report.conductance_meets_phi);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Verifier, FlagsCutBudgetViolation) {
+  // Splitting a clique in half cuts ~n²/4 of ~n²/2 edges: way over ε = 0.1.
+  const Graph g = gen::complete(16);
+  std::vector<std::uint32_t> comp(16, 0);
+  for (VertexId v = 8; v < 16; ++v) comp[v] = 1;
+  const auto report = verify_decomposition(g, fake(g, comp, 2), 0.1, 0.0);
+  EXPECT_TRUE(report.is_partition);
+  EXPECT_FALSE(report.cut_within_epsilon);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.inter_component_edges, 64u);
+}
+
+TEST(Verifier, FlagsLowConductanceComponent) {
+  // A barbell kept whole fails a phi demand above its bridge conductance.
+  const Graph g = gen::barbell(8);
+  const auto res = fake(g, std::vector<std::uint32_t>(g.num_vertices(), 0), 1);
+  const auto report = verify_decomposition(g, res, 0.5, 0.2);
+  EXPECT_TRUE(report.is_partition);
+  EXPECT_TRUE(report.cut_within_epsilon);
+  EXPECT_FALSE(report.conductance_meets_phi);
+  EXPECT_LT(report.min_conductance_lower, 0.2);
+}
+
+TEST(Verifier, FlagsBrokenPartitionLabels) {
+  const Graph g = gen::cycle(6);
+  std::vector<std::uint32_t> comp(6, 0);
+  comp[3] = 7;  // out of range vs num_components = 1
+  const auto report = verify_decomposition(g, fake(g, comp, 1), 1.0, 0.0);
+  EXPECT_FALSE(report.is_partition);
+}
+
+TEST(Verifier, ExactBranchForTinyComponents) {
+  // Components of size <= 14 get exhaustive conductance; the report must
+  // mark them exact and match the oracle.
+  const Graph g = gen::barbell(5);  // 10 vertices
+  std::vector<std::uint32_t> comp(10, 0);
+  for (VertexId v = 5; v < 10; ++v) comp[v] = 1;
+  DecompositionResult res = fake(g, comp, 2);
+  // Mark the bridge removed so the live view matches a real run.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    if ((u < 5) != (v < 5)) res.removed_edge[e] = 1;
+  }
+  ++res.removed_by[1];
+  const auto report = verify_decomposition(g, res, 0.5, 0.1);
+  ASSERT_EQ(report.components.size(), 2u);
+  for (const auto& c : report.components) {
+    EXPECT_TRUE(c.exact);
+    // Each side is K5 plus one substitution loop; K5's conductance is
+    // 6/10 = 0.6 and the loop only lowers it slightly.
+    EXPECT_GT(c.conductance_lower, 0.4);
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Verifier, CountsInternalRemovedEdges) {
+  // An edge removed but with both endpoints in the same final component is
+  // suspicious (only practical-mode guards produce it); the verifier must
+  // surface it.
+  const Graph g = gen::cycle(6);
+  DecompositionResult res = fake(g, std::vector<std::uint32_t>(6, 0), 1);
+  res.removed_edge[2] = 1;
+  const auto report = verify_decomposition(g, res, 1.0, 0.0);
+  EXPECT_EQ(report.internal_removed_edges, 1u);
+}
+
+TEST(Verifier, SingletonComponentsAreVacuouslyExpanding) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  std::vector<std::uint32_t> comp{0, 0, 1};
+  const auto report = verify_decomposition(g, fake(g, comp, 2), 1.0, 100.0);
+  // Singleton (vertex 2) must not drag the min conductance down.
+  ASSERT_EQ(report.components.size(), 2u);
+  EXPECT_TRUE(std::isinf(report.components[1].conductance_lower));
+}
+
+}  // namespace
+}  // namespace xd::expander
