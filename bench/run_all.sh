@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Runs every bench and captures results as BENCH_*.json in the output
+# directory (default: repo root), so successive PRs leave a perf trajectory.
+#
+#   bench/run_all.sh [--build-dir BUILD] [--out-dir OUT] [--quick] [names...]
+#
+# google-benchmark binaries (bench_kernel) emit native JSON; the plain
+# table-printing benches are wrapped as {"name", "stdout"} JSON.  With
+# --quick, only the kernel bench runs (the acceptance metric for the round
+# engine: flat delivery >= 2x the seed nested path at 100k vertices).
+
+set -euo pipefail
+
+BUILD_DIR=build
+OUT_DIR=.
+QUICK=0
+NAMES=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out-dir) OUT_DIR=$2; shift 2 ;;
+    --quick) QUICK=1; shift ;;
+    *) NAMES+=("$1"); shift ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+mkdir -p "$OUT_DIR"
+
+if [[ ${#NAMES[@]} -eq 0 ]]; then
+  if [[ $QUICK -eq 1 ]]; then
+    NAMES=(bench_kernel)
+  else
+    NAMES=(bench_kernel bench_ldd bench_mixing bench_nibble bench_routing \
+           bench_sparse_cut bench_expander bench_triangle)
+  fi
+fi
+
+json_escape() {
+  python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'
+}
+
+for name in "${NAMES[@]}"; do
+  bin="$BUILD_DIR/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "skip $name (not built)" >&2
+    continue
+  fi
+  out="$OUT_DIR/BENCH_${name#bench_}.json"
+  echo "== $name -> $out" >&2
+  if "$bin" --help 2>/dev/null | grep -q benchmark_format; then
+    "$bin" --benchmark_format=json --benchmark_min_time=1 \
+           --benchmark_repetitions=3 > "$out"
+  else
+    stdout=$("$bin")
+    printf '{"name": "%s", "stdout": %s}\n' "$name" \
+      "$(printf '%s' "$stdout" | json_escape)" > "$out"
+  fi
+done
+
+# Delivery acceptance summary: flat engine vs seed nested path at 100k.
+KERNEL_JSON="$OUT_DIR/BENCH_kernel.json"
+if [[ -f "$KERNEL_JSON" ]]; then
+  python3 - "$KERNEL_JSON" "$OUT_DIR/BENCH_kernel_summary.json" <<'PY'
+import json, statistics, sys
+data = json.load(open(sys.argv[1]))
+def median_rate(name):
+    xs = [b["items_per_second"] for b in data.get("benchmarks", [])
+          if b.get("run_type") in (None, "iteration")
+          and b["name"].startswith(name) and "items_per_second" in b]
+    return statistics.median(xs) if xs else None
+flat = median_rate("BM_DeliverFlat/100000")
+seed = median_rate("BM_DeliverSeedNested/100000")
+summary = {"flat_items_per_second_median": flat,
+           "seed_items_per_second_median": seed}
+if flat and seed:
+    summary["speedup"] = flat / seed
+    summary["meets_2x_bar"] = flat >= 2.0 * seed
+json.dump(summary, open(sys.argv[2], "w"), indent=2)
+print(json.dumps(summary, indent=2))
+PY
+fi

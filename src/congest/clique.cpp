@@ -7,12 +7,31 @@
 namespace xd::congest {
 
 CliqueNetwork::CliqueNetwork(std::size_t n, RoundLedger& ledger)
-    : n_(n), ledger_(&ledger), inboxes_(n) {}
+    : n_(n), ledger_(&ledger), inbox_offsets_(n + 1, 0), cursor_(n + 1, 0) {}
 
 void CliqueNetwork::send(VertexId from, VertexId to, const Message& msg) {
   XD_CHECK(from < n_ && to < n_);
   XD_CHECK_MSG(from != to, "clique self-sends are local computation");
   outbox_.push_back(Staged{from, to, msg});
+}
+
+std::size_t CliqueNetwork::deliver() {
+  const std::size_t count = outbox_.size();
+  XD_CHECK_MSG(count < (std::uint64_t{1} << 32),
+               "too many staged messages for one exchange");
+  std::fill(inbox_offsets_.begin(), inbox_offsets_.end(), 0);
+  for (const Staged& s : outbox_) ++inbox_offsets_[s.to + 1];
+  for (std::size_t v = 0; v < n_; ++v) {
+    inbox_offsets_[v + 1] += inbox_offsets_[v];
+  }
+  arena_.resize(count);
+  std::copy(inbox_offsets_.begin(), inbox_offsets_.end(), cursor_.begin());
+  for (const Staged& s : outbox_) {
+    arena_[cursor_[s.to]++] = Envelope{s.from, s.msg};
+  }
+  ledger_->count_messages(count);
+  outbox_.clear();
+  return count;
 }
 
 std::uint64_t CliqueNetwork::exchange_lenzen(std::string_view reason) {
@@ -30,19 +49,12 @@ std::uint64_t CliqueNetwork::exchange_lenzen(std::string_view reason) {
   const std::uint64_t rounds = std::max<std::uint64_t>(
       (worst + unit - 1) / unit, 1);
 
-  for (auto& inbox : inboxes_) inbox.clear();
-  for (const Staged& s : outbox_) {
-    inboxes_[s.to].push_back(Envelope{s.from, s.msg});
-  }
-  ledger_->count_messages(outbox_.size());
-  outbox_.clear();
+  deliver();
   ledger_->charge(rounds, reason);
   return rounds;
 }
 
 std::uint64_t CliqueNetwork::exchange(std::string_view reason) {
-  for (auto& inbox : inboxes_) inbox.clear();
-
   std::uint64_t max_congestion = 0;
   if (!outbox_.empty()) {
     std::vector<std::uint64_t> pairs(outbox_.size());
@@ -59,11 +71,7 @@ std::uint64_t CliqueNetwork::exchange(std::string_view reason) {
     }
   }
 
-  for (const Staged& s : outbox_) {
-    inboxes_[s.to].push_back(Envelope{s.from, s.msg});
-  }
-  ledger_->count_messages(outbox_.size());
-  outbox_.clear();
+  deliver();
 
   const std::uint64_t rounds = std::max<std::uint64_t>(max_congestion, 1);
   ledger_->charge(rounds, reason);

@@ -40,8 +40,11 @@ class CliqueNetwork {
   /// O(n^{1/3}) bound, so the DLP baseline uses this exchange.
   std::uint64_t exchange_lenzen(std::string_view reason);
 
+  /// Messages delivered to v in the last exchange: a span into the flat
+  /// arena (same zero-allocation layout as Network), in staging order.
   [[nodiscard]] std::span<const Envelope> inbox(VertexId v) const {
-    return inboxes_[v];
+    return {arena_.data() + inbox_offsets_[v],
+            inbox_offsets_[v + 1] - inbox_offsets_[v]};
   }
 
  private:
@@ -51,10 +54,16 @@ class CliqueNetwork {
     Message msg;
   };
 
+  /// Scatter outbox_ into the arena (counting sort by receiver, stable in
+  /// staging order) and clear it; returns the messages delivered.
+  std::size_t deliver();
+
   std::size_t n_;
   RoundLedger* ledger_;
   std::vector<Staged> outbox_;
-  std::vector<std::vector<Envelope>> inboxes_;
+  std::vector<Envelope> arena_;
+  std::vector<std::uint32_t> inbox_offsets_;
+  std::vector<std::uint32_t> cursor_;
 };
 
 }  // namespace xd::congest

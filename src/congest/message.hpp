@@ -10,7 +10,6 @@
 /// that cannot be squeezed into a Message must be split across rounds, and
 /// the RoundLedger will charge accordingly.
 
-#include <array>
 #include <cstdint>
 #include <cstring>
 
@@ -19,11 +18,17 @@
 namespace xd::congest {
 
 /// A single bounded-size message.
-struct Message {
+///
+/// Packed to 4-byte alignment: the kernel moves millions of these through
+/// flat staging and inbox arenas per delivery, and dropping the 4 padding
+/// bytes after the tag (plus 8 more in Envelope) cuts that memory traffic
+/// by a fifth.  x86/ARM handle the unaligned word loads natively; the
+/// payload accessors go through memcpy regardless.
+struct __attribute__((packed, aligned(4))) Message {
   /// Algorithm-defined discriminator (which sub-protocol this belongs to).
   std::uint32_t tag = 0;
   /// Two machine words of payload.  Fixed size == the model's O(log n) cap.
-  std::array<std::uint64_t, 2> words{0, 0};
+  std::uint64_t words[2]{0, 0};
 
   Message() = default;
   Message(std::uint32_t t, std::uint64_t w0, std::uint64_t w1 = 0)
@@ -49,10 +54,13 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
 };
 
-/// A delivered message: payload plus provenance.
-struct Envelope {
+/// A delivered message: payload plus provenance.  Packed like Message.
+struct __attribute__((packed, aligned(4))) Envelope {
   VertexId from = 0;  ///< sender
   Message msg;
 };
+
+static_assert(sizeof(Message) == 20, "Message must stay 20 bytes packed");
+static_assert(sizeof(Envelope) == 24, "Envelope must stay 24 bytes packed");
 
 }  // namespace xd::congest

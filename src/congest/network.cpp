@@ -1,13 +1,19 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "util/check.hpp"
 
 namespace xd::congest {
 
 Network::Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed)
-    : graph_(&graph), ledger_(&ledger), inboxes_(graph.num_vertices()) {
+    : graph_(&graph),
+      ledger_(&ledger),
+      inbox_offsets_(graph.num_vertices() + 1, 0),
+      cursor_(graph.num_vertices() + 1, 0) {
   Rng master(seed);
   rngs_.reserve(graph.num_vertices());
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
@@ -15,7 +21,13 @@ Network::Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed)
   }
 }
 
-void Network::send(VertexId from, std::uint32_t slot, const Message& msg) {
+void Network::set_threads(int threads) {
+  XD_CHECK_MSG(threads >= 1, "thread count must be >= 1");
+  threads_ = threads;
+}
+
+void Network::stage(detail::StagingBuffer& buf, VertexId from,
+                    std::uint32_t slot, const Message& msg) {
   XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
   XD_CHECK_MSG(slot < graph_->degree(from),
                "slot " << slot << " out of range for vertex " << from);
@@ -23,20 +35,27 @@ void Network::send(VertexId from, std::uint32_t slot, const Message& msg) {
   XD_CHECK_MSG(to != from, "cannot send over a self-loop slot");
   // Directed slot index: position of this slot in the global CSR layout.
   // Unique per (from, slot) pair, which is exactly per directed edge use.
-  const std::uint32_t directed_slot = graph_->slot_base(from) + slot;
-  outbox_.push_back(Staged{from, to, directed_slot, msg});
-  ++staged_count_;
+  buf.push(graph_->slot_base(from) + slot, from, msg);
+}
+
+void Network::stage_to(detail::StagingBuffer& buf, VertexId from, VertexId to,
+                       const Message& msg) {
+  XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
+  XD_CHECK_MSG(to != from, "cannot send over a self-loop slot");
+  std::uint64_t probes = 0;
+  const std::uint32_t slot = graph_->slot_of(from, to, &probes);
+  slot_lookup_probes_.fetch_add(probes, std::memory_order_relaxed);
+  XD_CHECK_MSG(slot != Graph::kNoSlot,
+               "send_to: {" << from << "," << to << "} is not an edge");
+  buf.push(graph_->slot_base(from) + slot, from, msg);
+}
+
+void Network::send(VertexId from, std::uint32_t slot, const Message& msg) {
+  stage(outbox_, from, slot, msg);
 }
 
 void Network::send_to(VertexId from, VertexId to, const Message& msg) {
-  auto nbrs = graph_->neighbors(from);
-  for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-    if (nbrs[slot] == to && to != from) {
-      send(from, slot, msg);
-      return;
-    }
-  }
-  XD_CHECK_MSG(false, "send_to: {" << from << "," << to << "} is not an edge");
+  stage_to(outbox_, from, to, msg);
 }
 
 std::uint64_t Network::exchange(std::string_view reason) {
@@ -50,30 +69,123 @@ std::uint64_t Network::exchange_charging(std::string_view reason,
 
 std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
                                    std::uint64_t rounds_override) {
-  for (auto& inbox : inboxes_) inbox.clear();
+  const std::size_t n = graph_->num_vertices();
+  const std::size_t staged_count = outbox_.size();
+  XD_CHECK_MSG(staged_count < (std::uint64_t{1} << 32),
+               "too many staged messages for one exchange");
 
-  // Congestion = messages per directed slot; rounds = max over slots.
+  // Canonical delivery order: ascending (directed slot, staging index).
+  // Ties in slot are same-sender re-sends, kept in staging order; distinct
+  // senders never share a slot, so the order is independent of how the
+  // staging was interleaved across worker buffers.  Both paths below
+  // produce exactly this order; they differ only in cost shape.
+  const std::uint64_t volume = graph_->volume();
   std::uint64_t max_congestion = 0;
-  if (!outbox_.empty()) {
-    std::vector<std::uint32_t> slots(outbox_.size());
-    for (std::size_t i = 0; i < outbox_.size(); ++i) {
-      slots[i] = outbox_[i].directed_slot;
+  arena_.resize(staged_count);
+
+  // Fast path: staging order already IS the canonical order (true for
+  // every vertex-ascending protocol and for the parallel executor's
+  // worker-merge).  One fused pass detects sortedness while computing run
+  // congestion and receiver counts; if it survives, one in-order scatter
+  // finishes delivery -- no reordering at all.
+  bool sorted = true;
+  if (staged_count > 0) {
+    std::fill(cursor_.begin(), cursor_.end(), 0);
+    std::uint64_t run = 0;
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < staged_count; ++i) {
+      const std::uint32_t s = outbox_.slot[i];
+      if (i > 0 && s < prev) {
+        sorted = false;
+        break;
+      }
+      run = i > 0 && s == prev ? run + 1 : 1;
+      max_congestion = std::max(max_congestion, run);
+      prev = s;
+      ++cursor_[graph_->slot_target(s)];
     }
-    std::sort(slots.begin(), slots.end());
-    std::uint64_t run = 1;
-    for (std::size_t i = 1; i < slots.size(); ++i) {
-      run = slots[i] == slots[i - 1] ? run + 1 : 1;
+  }
+
+  if (staged_count > 0 && sorted) {
+    // cursor_ holds receiver counts; turn it into running start positions
+    // while emitting the CSR offsets.
+    inbox_offsets_[0] = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      inbox_offsets_[v + 1] = inbox_offsets_[v] + cursor_[v];
+      cursor_[v] = inbox_offsets_[v];
+    }
+    for (std::size_t i = 0; i < staged_count; ++i) {
+      // Hint the write-allocate for an upcoming destination; the cursor
+      // may advance a little more before we get there, but the line it
+      // points at now is almost always the line we will touch.
+      if (i + 12 < staged_count) {
+        const VertexId ahead = graph_->slot_target(outbox_.slot[i + 12]);
+        __builtin_prefetch(&arena_[cursor_[ahead]], 1, 0);
+      }
+      const VertexId to = graph_->slot_target(outbox_.slot[i]);
+      arena_[cursor_[to]++] = Envelope{outbox_.from[i], outbox_.msg[i]};
+    }
+  } else if (staged_count * 16 >= volume) {
+    max_congestion = 0;  // discard the aborted fused pass's partial value
+    // Dense path: pure counting passes, no sort.  Messages grouped by
+    // directed slot are already grouped by receiver through the graph's
+    // incoming-slot mirror index, so one O(S) count, one O(volume) offset
+    // scan, and one O(S) scatter build the CSR inboxes; the counts array is
+    // then bulk-zeroed (a streaming memset is cheaper than re-walking the
+    // touched slots).
+    if (slot_counts_.size() < volume) slot_counts_.resize(volume, 0);
+    for (const std::uint32_t s : outbox_.slot) ++slot_counts_[s];
+    std::uint32_t running = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      inbox_offsets_[v] = running;
+      for (const std::uint32_t s : graph_->incoming_slots(v)) {
+        const std::uint32_t c = slot_counts_[s];
+        max_congestion = std::max<std::uint64_t>(max_congestion, c);
+        // Repurpose the count as this slot's scatter cursor.
+        slot_counts_[s] = running;
+        running += c;
+      }
+    }
+    inbox_offsets_[n] = running;
+    for (std::size_t i = 0; i < staged_count; ++i) {
+      arena_[slot_counts_[outbox_.slot[i]]++] =
+          Envelope{outbox_.from[i], outbox_.msg[i]};
+    }
+    std::fill(slot_counts_.begin(), slot_counts_.end(), 0);
+  } else {
+    max_congestion = 0;  // discard the aborted fused pass's partial value
+    // Sparse path: sort packed (slot, index) keys; avoids the O(volume)
+    // scans when little traffic is staged.
+    sort_keys_.resize(staged_count);
+    for (std::size_t i = 0; i < staged_count; ++i) {
+      sort_keys_[i] = (std::uint64_t{outbox_.slot[i]} << 32) |
+                      static_cast<std::uint32_t>(i);
+    }
+    std::sort(sort_keys_.begin(), sort_keys_.end());
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < staged_count; ++i) {
+      run = i > 0 && (sort_keys_[i] >> 32) == (sort_keys_[i - 1] >> 32)
+                ? run + 1
+                : 1;
       max_congestion = std::max(max_congestion, run);
     }
-    max_congestion = std::max<std::uint64_t>(max_congestion, 1);
+    std::fill(inbox_offsets_.begin(), inbox_offsets_.end(), 0);
+    for (const std::uint32_t s : outbox_.slot) {
+      ++inbox_offsets_[graph_->slot_target(s) + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      inbox_offsets_[v + 1] += inbox_offsets_[v];
+    }
+    std::copy(inbox_offsets_.begin(), inbox_offsets_.end(), cursor_.begin());
+    for (std::size_t i = 0; i < staged_count; ++i) {
+      const auto idx = static_cast<std::size_t>(sort_keys_[i] & 0xffffffffu);
+      const VertexId to = graph_->slot_target(outbox_.slot[idx]);
+      arena_[cursor_[to]++] = Envelope{outbox_.from[idx], outbox_.msg[idx]};
+    }
   }
 
-  for (const Staged& s : outbox_) {
-    inboxes_[s.to].push_back(Envelope{s.from, s.msg});
-  }
-  ledger_->count_messages(outbox_.size());
+  ledger_->count_messages(staged_count);
   outbox_.clear();
-  staged_count_ = 0;
 
   std::uint64_t rounds = std::max<std::uint64_t>(max_congestion, 1);
   if (has_override) {
@@ -86,8 +198,104 @@ std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
   return rounds;
 }
 
+std::uint64_t Network::run_round(VertexProgram& program,
+                                 std::string_view reason) {
+  const std::size_t n = graph_->num_vertices();
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(std::max(threads_, 1), n ? n : 1));
+
+  if (workers <= 1) {
+    Outbox out(this, &outbox_);
+    for (VertexId v = 0; v < n; ++v) {
+      out.vertex_ = v;
+      program.on_send(v, out);
+    }
+    const std::uint64_t rounds = do_exchange(reason, false, 0);
+    for (VertexId v = 0; v < n; ++v) program.on_receive(v, inbox(v));
+    return rounds;
+  }
+
+  // Parallel executor: contiguous vertex ranges, one staging buffer per
+  // worker.  Merging buffers in worker order keeps each sender's messages
+  // contiguous and in send order, which is all the canonical delivery sort
+  // needs for bit-identical results at any thread count.  Threads are
+  // spawned per phase (simple and correct); protocols with thousands of
+  // tiny rounds that want a persistent pool should drive phases serially
+  // or batch rounds -- revisit if a workload shows the spawn cost.
+  worker_bufs_.resize(static_cast<std::size_t>(workers));
+  const auto range_of = [&](int w) {
+    const std::size_t lo = n * static_cast<std::size_t>(w) /
+                           static_cast<std::size_t>(workers);
+    const std::size_t hi = n * (static_cast<std::size_t>(w) + 1) /
+                           static_cast<std::size_t>(workers);
+    return std::pair<VertexId, VertexId>{static_cast<VertexId>(lo),
+                                         static_cast<VertexId>(hi)};
+  };
+
+  // A phase callback that throws (every XD_CHECK) must surface the same
+  // catchable exception the serial path gives, not std::terminate the
+  // process from inside a worker thread: capture the first exception and
+  // rethrow after the join barrier.
+  const auto run_phase = [&](auto&& body) {
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          const auto [lo, hi] = range_of(w);
+          body(w, lo, hi);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  };
+
+  run_phase([&](int w, VertexId lo, VertexId hi) {
+    auto& buf = worker_bufs_[static_cast<std::size_t>(w)];
+    buf.clear();
+    Outbox out(this, &buf);
+    for (VertexId v = lo; v < hi; ++v) {
+      out.vertex_ = v;
+      program.on_send(v, out);
+    }
+  });
+  for (auto& buf : worker_bufs_) outbox_.append(buf);
+
+  const std::uint64_t rounds = do_exchange(reason, false, 0);
+
+  run_phase([&](int /*w*/, VertexId lo, VertexId hi) {
+    for (VertexId v = lo; v < hi; ++v) program.on_receive(v, inbox(v));
+  });
+  return rounds;
+}
+
+std::uint64_t Network::run_rounds(VertexProgram& program, int rounds,
+                                  std::string_view reason) {
+  std::uint64_t total = 0;
+  for (int r = 0; r < rounds; ++r) total += run_round(program, reason);
+  return total;
+}
+
 void Network::tick(std::uint64_t rounds, std::string_view reason) {
   if (rounds > 0) ledger_->charge(rounds, reason);
 }
+
+// ---------------------------------------------------------------- Outbox --
+
+void Outbox::send(std::uint32_t slot, const Message& msg) {
+  net_->stage(*buf_, vertex_, slot, msg);
+}
+
+void Outbox::send_to(VertexId to, const Message& msg) {
+  net_->stage_to(*buf_, vertex_, to, msg);
+}
+
+Rng& Outbox::rng() const { return net_->rng(vertex_); }
 
 }  // namespace xd::congest

@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file network.hpp
-/// The round-synchronous CONGEST kernel.
+/// The round-synchronous CONGEST kernel, built around a batched round
+/// engine.
 ///
 /// Usage pattern (a "logical exchange"):
 ///   1. stage messages with send() / send_to() from any vertex;
@@ -12,15 +13,30 @@
 ///      message per edge per round;
 ///   3. read inbox(v).
 ///
+/// Or, preferred for whole-protocol steps: implement a VertexProgram
+/// (engine.hpp) and call run_round(); the engine runs the send phase over
+/// all vertices, delivers, then runs the receive phase -- optionally on
+/// several threads (set_threads) with bit-identical results.
+///
+/// Delivery is flat: staged messages are canonicalized by directed slot
+/// (counting-sort keys), congestion is read off the sorted runs, and the
+/// inboxes are one contiguous Envelope arena plus a CSR offset array --
+/// zero per-vertex allocations per round.  inbox(v) is a span into the
+/// arena, ordered by (sender, slot); this order is deterministic and
+/// independent of staging interleaving, which is what makes the parallel
+/// executor exact.
+///
 /// Sending over a self-loop slot is rejected: loops are local state, not
 /// channels.  Messages are validated to travel only over edges of the graph
 /// (that *is* the CONGEST model -- no telepathy).
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "congest/engine.hpp"
 #include "congest/ledger.hpp"
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
@@ -47,8 +63,8 @@ class Network {
   /// (0 <= slot < degree).  Rejects self-loop slots.
   void send(VertexId from, std::uint32_t slot, const Message& msg);
 
-  /// Stage a message from `from` to neighbor `to`; O(deg(from)) slot lookup.
-  /// Requires {from, to} to be an edge.
+  /// Stage a message from `from` to neighbor `to`; O(log deg) via the
+  /// graph's neighbor->slot index.  Requires {from, to} to be an edge.
   void send_to(VertexId from, VertexId to, const Message& msg);
 
   /// Deliver all staged messages; charge max(1, max directed-edge
@@ -66,31 +82,73 @@ class Network {
   /// Charge idle rounds (a phase that waits without traffic).
   void tick(std::uint64_t rounds, std::string_view reason);
 
-  /// Messages delivered to v in the last exchange.
+  /// Messages delivered to v in the last exchange: a span into the flat
+  /// arena, ordered by (sender, sender slot).
   [[nodiscard]] std::span<const Envelope> inbox(VertexId v) const {
-    return inboxes_[v];
+    return {arena_.data() + inbox_offsets_[v],
+            inbox_offsets_[v + 1] - inbox_offsets_[v]};
   }
 
   /// Total messages staged for the pending exchange (diagnostics).
-  [[nodiscard]] std::size_t staged() const { return staged_count_; }
+  [[nodiscard]] std::size_t staged() const { return outbox_.size(); }
+
+  // ---------------------------------------------------------- round engine
+
+  /// Run one superstep of `program`: send phase over all vertices, one
+  /// delivery (charged like exchange), receive phase over all vertices.
+  /// Returns the rounds charged.
+  std::uint64_t run_round(VertexProgram& program, std::string_view reason);
+
+  /// run_round `rounds` times; returns total rounds charged.
+  std::uint64_t run_rounds(VertexProgram& program, int rounds,
+                           std::string_view reason);
+
+  /// Opt-in thread-parallel executor for run_round phases (default 1 =
+  /// serial).  Results are bit-identical for every thread count: phases are
+  /// data-parallel over vertices and delivery order is canonical.
+  void set_threads(int threads);
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Total binary-search probes spent in send_to slot lookups (diagnostics;
+  /// the star-broadcast regression test asserts this stays O(S log deg)).
+  [[nodiscard]] std::uint64_t slot_lookup_probes() const {
+    return slot_lookup_probes_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Staged {
-    VertexId from;
-    VertexId to;
-    std::uint32_t directed_slot;  ///< global directed-slot index of (from, slot)
-    Message msg;
-  };
+  friend class Outbox;
+
+  /// Validates and stages one message into `buf`.
+  void stage(detail::StagingBuffer& buf, VertexId from, std::uint32_t slot,
+             const Message& msg);
+  void stage_to(detail::StagingBuffer& buf, VertexId from, VertexId to,
+                const Message& msg);
+
+  /// Canonicalize + deliver outbox_ into the arena; charge and return
+  /// rounds.
+  std::uint64_t do_exchange(std::string_view reason, bool has_override,
+                            std::uint64_t rounds_override);
 
   const Graph* graph_;
   RoundLedger* ledger_;
   std::vector<Rng> rngs_;
-  std::vector<Staged> outbox_;
-  std::vector<std::vector<Envelope>> inboxes_;
-  std::size_t staged_count_ = 0;
+  int threads_ = 1;
+  /// Relaxed atomic: bumped from parallel send phases, read for diagnostics.
+  std::atomic<std::uint64_t> slot_lookup_probes_{0};
 
-  std::uint64_t do_exchange(std::string_view reason, bool has_override,
-                            std::uint64_t rounds_override);
+  detail::StagingBuffer outbox_;
+  /// Flat inbox arena + CSR offsets (size n+1); rebuilt each delivery with
+  /// no per-vertex allocations.
+  std::vector<Envelope> arena_;
+  std::vector<std::uint32_t> inbox_offsets_;
+  /// Scratch reused across deliveries.  slot_counts_ (size volume, lazily
+  /// grown) is kept all-zeros between exchanges; the dense delivery path
+  /// uses it for per-slot counts, then cursors, then bulk-zeroes it.
+  std::vector<std::uint64_t> sort_keys_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint32_t> slot_counts_;
+  /// Per-worker staging buffers for the parallel executor.
+  std::vector<detail::StagingBuffer> worker_bufs_;
 };
 
 }  // namespace xd::congest

@@ -30,6 +30,7 @@
 /// decomposition), and expander routers (xd::routing).
 
 #include "congest/clique.hpp"
+#include "congest/engine.hpp"
 #include "congest/ledger.hpp"
 #include "congest/message.hpp"
 #include "congest/network.hpp"

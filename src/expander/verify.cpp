@@ -42,6 +42,11 @@ VerificationReport verify_decomposition(const Graph& g,
                                   static_cast<double>(g.num_edges());
   report.cut_within_epsilon = report.cut_fraction <= epsilon + 1e-12;
 
+  // Labels outside [0, num_components) make the per-component analysis
+  // below meaningless (and would index out of range); report the broken
+  // partition and stop here.
+  if (!report.is_partition) return report;
+
   // (3) Component conductance Φ(G{V_i}) on the live view (removed edges as
   // loops -- the graph the final sparse-cut call certified).
   std::vector<std::vector<VertexId>> members(result.num_components);

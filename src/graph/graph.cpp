@@ -25,6 +25,26 @@ bool Graph::has_edge(VertexId u, VertexId v) const {
   return false;
 }
 
+std::uint32_t Graph::slot_of(VertexId u, VertexId v, std::uint64_t* probes) const {
+  XD_CHECK_MSG(u != v, "slot_of is for non-loop neighbors");
+  // Binary search the neighbor-sorted slot permutation of u; on parallel
+  // edges the (neighbor, slot) sort order guarantees the first hit is the
+  // smallest slot.
+  std::uint32_t lo = offsets_[u];
+  std::uint32_t hi = offsets_[u + 1];
+  while (lo < hi) {
+    if (probes != nullptr) ++*probes;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (sorted_nbrs_[mid] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == offsets_[u + 1] || sorted_nbrs_[lo] != v) return kNoSlot;
+  return sorted_slots_[lo];
+}
+
 std::uint32_t Graph::max_degree() const {
   std::uint32_t best = 0;
   for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
@@ -85,6 +105,34 @@ Graph GraphBuilder::build() const {
     if (u == v) ++g.num_loops_;
   }
   g.num_edges_ = m;
+
+  // Neighbor->slot index: per vertex, slots sorted by (neighbor id, slot).
+  g.sorted_nbrs_.resize(slots);
+  g.sorted_slots_.resize(slots);
+  for (std::size_t v = 0; v < n_; ++v) {
+    const std::uint32_t base = g.offsets_[v];
+    const std::uint32_t deg = g.offsets_[v + 1] - base;
+    for (std::uint32_t s = 0; s < deg; ++s) g.sorted_slots_[base + s] = s;
+    std::sort(g.sorted_slots_.begin() + base,
+              g.sorted_slots_.begin() + base + deg,
+              [&](std::uint32_t a, std::uint32_t b) {
+                const VertexId na = g.neighbors_[base + a];
+                const VertexId nb = g.neighbors_[base + b];
+                return na != nb ? na < nb : a < b;
+              });
+    for (std::uint32_t s = 0; s < deg; ++s) {
+      g.sorted_nbrs_[base + s] = g.neighbors_[base + g.sorted_slots_[base + s]];
+    }
+  }
+
+  // Incoming-slot mirror index: scanning directed slots in ascending order
+  // and appending each to its receiver's cursor yields, per receiver, the
+  // ascending list of slots that deliver into it.
+  g.incoming_slots_.resize(slots);
+  std::copy(g.offsets_.begin(), g.offsets_.end() - 1, cursor.begin());
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    g.incoming_slots_[cursor[g.neighbors_[s]]++] = s;
+  }
 
   if (!allow_parallel_) {
     // Detect duplicate non-loop edges: sort each adjacency copy.

@@ -62,6 +62,34 @@ class Graph {
   /// on).  Total slots == slot_base(n) == volume() - num_loops().
   [[nodiscard]] std::uint32_t slot_base(VertexId v) const { return offsets_[v]; }
 
+  /// Sentinel returned by slot_of when {u, v} is not an edge.
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+
+  /// Adjacency slot of neighbor `v` at vertex `u` (u != v), or kNoSlot.
+  /// O(log deg(u)) binary search over the per-vertex neighbor-sorted slot
+  /// index built at construction; with parallel edges the smallest matching
+  /// slot is returned (the same slot a linear scan would find first).
+  /// If `probes` is non-null it is incremented once per search step, so
+  /// callers can assert work bounds (see the star-broadcast regression
+  /// test).
+  [[nodiscard]] std::uint32_t slot_of(VertexId u, VertexId v,
+                                      std::uint64_t* probes = nullptr) const;
+
+  /// Receiver of global directed slot s: the neighbor that slot points at.
+  [[nodiscard]] VertexId slot_target(std::uint32_t s) const {
+    return neighbors_[s];
+  }
+
+  /// The directed slots that deliver INTO v -- the mirror of each of v's
+  /// adjacency slots (a self-loop slot mirrors itself) -- in ascending
+  /// order.  Exactly deg(v) entries, sharing offsets with neighbors(v).
+  /// This is what lets the round engine build CSR inboxes by counting
+  /// passes alone (no per-round sort): traffic grouped by directed slot is
+  /// already grouped by receiver through this index.
+  [[nodiscard]] std::span<const std::uint32_t> incoming_slots(VertexId v) const {
+    return {incoming_slots_.data() + offsets_[v], degree(v)};
+  }
+
   /// Number of self-loop slots at v.
   [[nodiscard]] std::uint32_t loops_at(VertexId v) const;
 
@@ -87,6 +115,15 @@ class Graph {
   std::vector<std::uint32_t> offsets_;   ///< size n+1
   std::vector<VertexId> neighbors_;      ///< one entry per slot; loop -> self
   std::vector<EdgeId> edge_ids_;         ///< parallel to neighbors_
+  /// Neighbor->slot index: per vertex, its slots permuted so the neighbor
+  /// ids are ascending (ties by slot).  sorted_nbrs_ holds the reordered
+  /// neighbor ids, sorted_slots_ the matching local slot numbers.  Shares
+  /// offsets_ with the adjacency arrays.
+  std::vector<VertexId> sorted_nbrs_;
+  std::vector<std::uint32_t> sorted_slots_;
+  /// Per vertex: ascending directed slots delivering into it (see
+  /// incoming_slots()).  Shares offsets_.
+  std::vector<std::uint32_t> incoming_slots_;
   std::vector<VertexId> edge_u_, edge_v_;  ///< size num_edges_
   std::size_t num_edges_ = 0;
   std::size_t num_loops_ = 0;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "congest/engine.hpp"
 #include "util/check.hpp"
 
 namespace xd::ldd {
 
+using congest::Envelope;
 using congest::Message;
 using congest::Network;
+using congest::Outbox;
 
 namespace {
 
@@ -48,79 +51,61 @@ Clustering mpx_clustering(Network& net, double beta, std::string_view reason) {
     start[v] = static_cast<std::uint32_t>(std::max(1.0, s));
   }
 
-  std::vector<VertexId> newly_clustered;
-  for (std::uint32_t t = 1; t <= epochs; ++t) {
-    // Deliver announcements from vertices clustered in epoch t-1.
-    for (VertexId v : newly_clustered) {
-      auto nbrs = g.neighbors(v);
-      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-        const VertexId u = nbrs[slot];
-        if (u != v && out.center[u] == kNone) {
-          net.send(v, slot, Message{kAnnounceTag, out.center[v]});
+  // One engine superstep per epoch: vertices clustered last epoch announce
+  // their center; unclustered vertices adopt the smallest announced center,
+  // or self-center at their wake-up epoch.
+  std::vector<char> newly(n, 0);
+  std::uint32_t t = 0;       // current epoch (set before each round)
+  bool in_flush = false;     // flush rounds have no wake-ups
+  auto program = congest::make_program(
+      [&](VertexId v, Outbox& ob) {
+        if (!newly[v]) return;
+        auto nbrs = g.neighbors(v);
+        for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+          const VertexId u = nbrs[slot];
+          if (u != v && out.center[u] == kNone) {
+            ob.send(slot, Message{kAnnounceTag, out.center[v]});
+          }
         }
-      }
-    }
-    net.exchange(reason);
-    newly_clustered.clear();
+      },
+      [&](VertexId v, std::span<const Envelope> inbox) {
+        if (out.center[v] != kNone) {
+          newly[v] = 0;
+          return;
+        }
+        // Join rule: adopt the smallest announced center (before own
+        // wake-up only if start_v > t; a vertex waking exactly now centers
+        // itself).
+        VertexId best_center = kNone;
+        for (const auto& env : inbox) {
+          if (env.msg.tag != kAnnounceTag) continue;
+          best_center =
+              std::min(best_center, static_cast<VertexId>(env.msg.words[0]));
+        }
+        if (!in_flush && start[v] == t) {
+          out.center[v] = v;
+          out.joined_epoch[v] = t;
+          newly[v] = 1;
+        } else if (best_center != kNone) {
+          out.center[v] = best_center;
+          out.joined_epoch[v] = in_flush ? epochs + 1 : t;
+          newly[v] = 1;
+        }
+      });
 
-    for (VertexId v = 0; v < n; ++v) {
-      if (out.center[v] != kNone) continue;
-      // Join rule: adopt the smallest announced center (before own wake-up
-      // only if start_v > t; a vertex waking exactly now centers itself).
-      VertexId best_center = kNone;
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag != kAnnounceTag) continue;
-        best_center = std::min(best_center,
-                               static_cast<VertexId>(env.msg.words[0]));
-      }
-      if (start[v] == t) {
-        out.center[v] = v;
-        out.joined_epoch[v] = t;
-        newly_clustered.push_back(v);
-      } else if (best_center != kNone) {
-        out.center[v] = best_center;
-        out.joined_epoch[v] = t;
-        newly_clustered.push_back(v);
-      }
-    }
+  for (t = 1; t <= epochs; ++t) {
+    net.run_round(program, reason);
   }
 
   // Defensive flush: every vertex self-centers at its own wake-up epoch at
   // the latest, so this loop should never find pending vertices; the guard
   // bounds it in case of a protocol bug.
+  in_flush = true;
   std::uint32_t flush_guard = 0;
-  while (true) {
-    bool pending = false;
-    for (VertexId v = 0; v < n; ++v) {
-      if (out.center[v] == kNone) pending = true;
-    }
-    if (!pending) break;
+  while (std::find(out.center.begin(), out.center.end(), kNone) !=
+         out.center.end()) {
     XD_CHECK_MSG(++flush_guard <= n + 1, "MPX failed to cluster all vertices");
-    for (VertexId v : newly_clustered) {
-      auto nbrs = g.neighbors(v);
-      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-        const VertexId u = nbrs[slot];
-        if (u != v && out.center[u] == kNone) {
-          net.send(v, slot, Message{kAnnounceTag, out.center[v]});
-        }
-      }
-    }
-    net.exchange(reason);
-    newly_clustered.clear();
-    for (VertexId v = 0; v < n; ++v) {
-      if (out.center[v] != kNone) continue;
-      VertexId best_center = kNone;
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag != kAnnounceTag) continue;
-        best_center = std::min(best_center,
-                               static_cast<VertexId>(env.msg.words[0]));
-      }
-      if (best_center != kNone) {
-        out.center[v] = best_center;
-        out.joined_epoch[v] = epochs + 1;
-        newly_clustered.push_back(v);
-      }
-    }
+    net.run_round(program, reason);
   }
   return out;
 }

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "congest/engine.hpp"
 #include "util/check.hpp"
 
 namespace xd::prim {
 
+using congest::Envelope;
 using congest::Message;
 using congest::Network;
+using congest::Outbox;
 
 namespace {
 
@@ -35,20 +38,21 @@ std::vector<std::uint64_t> convergecast(Network& net, const Forest& forest,
 
   // Depth levels from deepest to 1; level d vertices push into parents.
   for (std::uint32_t level = forest.height; level >= 1; --level) {
-    for (VertexId v = 0; v < n; ++v) {
-      if (forest.is_active(v) && forest.depth[v] == level) {
-        net.send_to(v, forest.parent[v], Message{Tag::kUp, acc[v]});
-      }
-    }
-    net.exchange(reason);
-    for (VertexId v = 0; v < n; ++v) {
-      if (!forest.is_active(v)) continue;
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag == Tag::kUp) {
-          acc[v] = combine(acc[v], env.msg.words[0]);
-        }
-      }
-    }
+    auto program = congest::make_program(
+        [&](VertexId v, Outbox& out) {
+          if (forest.is_active(v) && forest.depth[v] == level) {
+            out.send_to(forest.parent[v], Message{Tag::kUp, acc[v]});
+          }
+        },
+        [&](VertexId v, std::span<const Envelope> inbox) {
+          if (!forest.is_active(v)) return;
+          for (const auto& env : inbox) {
+            if (env.msg.tag == Tag::kUp) {
+              acc[v] = combine(acc[v], env.msg.words[0]);
+            }
+          }
+        });
+    net.run_round(program, reason);
   }
   return acc;
 }
@@ -90,21 +94,22 @@ std::vector<std::uint64_t> broadcast_from_roots(Network& net, const Forest& fore
     if (forest.is_active(v) && forest.parent[v] == v) out[v] = root_value[v];
   }
   for (std::uint32_t level = 0; level < forest.height; ++level) {
-    for (VertexId v = 0; v < n; ++v) {
-      if (!forest.is_active(v) || forest.depth[v] != level) continue;
-      for (VertexId c : forest.children[v]) {
-        net.send_to(v, c, Message{Tag::kDown, out[v]});
-      }
-    }
-    net.exchange(reason);
-    for (VertexId v = 0; v < n; ++v) {
-      if (!forest.is_active(v) || forest.depth[v] != level + 1) continue;
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag == Tag::kDown && env.from == forest.parent[v]) {
-          out[v] = env.msg.words[0];
-        }
-      }
-    }
+    auto program = congest::make_program(
+        [&](VertexId v, Outbox& ob) {
+          if (!forest.is_active(v) || forest.depth[v] != level) return;
+          for (VertexId c : forest.children[v]) {
+            ob.send_to(c, Message{Tag::kDown, out[v]});
+          }
+        },
+        [&](VertexId v, std::span<const Envelope> inbox) {
+          if (!forest.is_active(v) || forest.depth[v] != level + 1) return;
+          for (const auto& env : inbox) {
+            if (env.msg.tag == Tag::kDown && env.from == forest.parent[v]) {
+              out[v] = env.msg.words[0];
+            }
+          }
+        });
+    net.run_round(program, reason);
   }
   return out;
 }

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "congest/engine.hpp"
 #include "util/check.hpp"
 
 namespace xd::prim {
 
+using congest::Envelope;
 using congest::Message;
 using congest::Network;
+using congest::Outbox;
 
 namespace {
 
@@ -41,36 +44,36 @@ std::vector<VertexId> elect_leaders(Network& net,
   }
 
   // Flood the minimum id. A vertex re-broadcasts only when its value
-  // improved last exchange; the loop ends after one exchange in which no
-  // value improved anywhere (that exchange is the confirmation round).
+  // improved last round; the loop ends after one round in which no value
+  // improved anywhere (that round is the confirmation exchange).
   std::vector<char> dirty(active.begin(), active.end());
+  auto program = congest::make_program(
+      [&](VertexId v, Outbox& out) {
+        if (!active[v] || !dirty[v]) return;
+        auto nbrs = g.neighbors(v);
+        for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+          const VertexId u = nbrs[slot];
+          if (u != v && active[u]) {
+            out.send(slot, Message{kLeaderProbe, best[v]});
+          }
+        }
+      },
+      [&](VertexId v, std::span<const Envelope> inbox) {
+        dirty[v] = 0;
+        if (!active[v]) return;
+        for (const auto& env : inbox) {
+          if (env.msg.tag != kLeaderProbe) continue;
+          const auto candidate = static_cast<VertexId>(env.msg.words[0]);
+          if (candidate < best[v]) {
+            best[v] = candidate;
+            dirty[v] = 1;
+          }
+        }
+      });
   bool any_dirty = true;
   while (any_dirty) {
-    for (VertexId v = 0; v < n; ++v) {
-      if (!active[v] || !dirty[v]) continue;
-      auto nbrs = g.neighbors(v);
-      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-        const VertexId u = nbrs[slot];
-        if (u != v && active[u]) {
-          net.send(v, slot, Message{kLeaderProbe, best[v]});
-        }
-      }
-    }
-    net.exchange(reason);
-    any_dirty = false;
-    std::fill(dirty.begin(), dirty.end(), 0);
-    for (VertexId v = 0; v < n; ++v) {
-      if (!active[v]) continue;
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag != kLeaderProbe) continue;
-        const auto candidate = static_cast<VertexId>(env.msg.words[0]);
-        if (candidate < best[v]) {
-          best[v] = candidate;
-          dirty[v] = 1;
-          any_dirty = true;
-        }
-      }
-    }
+    net.run_round(program, reason);
+    any_dirty = std::find(dirty.begin(), dirty.end(), 1) != dirty.end();
   }
   return best;
 }
@@ -88,66 +91,80 @@ Forest bfs_wave(Network& net, const std::vector<char>& active,
   f.depth.assign(n, 0);
   f.children.assign(n, {});
 
-  std::vector<VertexId> frontier;
+  // in_frontier: joined last round, offers adoption this round.
+  // pending_accept: parent this vertex must ACK in this round's send phase.
+  std::vector<char> in_frontier(n, 0);
+  std::vector<char> next_frontier(n, 0);
+  std::vector<VertexId> pending_accept(n, kNoVertex);
+  bool any_frontier = false;
   for (VertexId v = 0; v < n; ++v) {
     if (active[v] && is_root[v]) {
       f.root[v] = v;
       f.parent[v] = v;
-      frontier.push_back(v);
+      in_frontier[v] = 1;
+      any_frontier = true;
     }
   }
 
   std::uint32_t level = 0;
-  // `pending_accept[v]` holds the parent v must ACK in the next exchange.
-  std::vector<std::pair<VertexId, VertexId>> pending_accepts;
-  while (!frontier.empty() || !pending_accepts.empty()) {
-    for (VertexId v : frontier) {
-      auto nbrs = g.neighbors(v);
-      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-        const VertexId u = nbrs[slot];
-        if (u != v && active[u] && f.root[u] == kNoVertex) {
-          net.send(v, slot, Message{Tag::kJoin, f.root[v]});
-        }
-      }
-    }
-    for (const auto& [child, parent] : pending_accepts) {
-      net.send_to(child, parent, Message{Tag::kAccept, 0});
-    }
-    pending_accepts.clear();
-    net.exchange(reason);
-    ++level;
-
-    std::vector<VertexId> next;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!active[v]) continue;
-      if (f.root[v] == kNoVertex) {
-        // Adopt the JOIN with the smallest sender id (deterministic).
-        VertexId parent = kNoVertex;
-        VertexId root = kNoVertex;
-        for (const auto& env : net.inbox(v)) {
-          if (env.msg.tag == Tag::kJoin && env.from < parent) {
-            parent = env.from;
-            root = static_cast<VertexId>(env.msg.words[0]);
+  bool any_pending = false;
+  auto program = congest::make_program(
+      [&](VertexId v, Outbox& out) {
+        if (in_frontier[v]) {
+          auto nbrs = g.neighbors(v);
+          for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+            const VertexId u = nbrs[slot];
+            if (u != v && active[u] && f.root[u] == kNoVertex) {
+              out.send(slot, Message{Tag::kJoin, f.root[v]});
+            }
           }
         }
-        if (parent != kNoVertex) {
-          f.root[v] = root;
-          f.parent[v] = parent;
-          f.depth[v] = level;
-          f.height = std::max(f.height, level);
-          next.push_back(v);
-          pending_accepts.emplace_back(v, parent);
+        if (pending_accept[v] != kNoVertex) {
+          out.send_to(pending_accept[v], Message{Tag::kAccept, 0});
         }
-      } else {
-        for (const auto& env : net.inbox(v)) {
-          if (env.msg.tag == Tag::kAccept) f.children[v].push_back(env.from);
+      },
+      [&](VertexId v, std::span<const Envelope> inbox) {
+        pending_accept[v] = kNoVertex;
+        next_frontier[v] = 0;
+        if (!active[v]) return;
+        if (f.root[v] == kNoVertex) {
+          // Adopt the JOIN with the smallest sender id (deterministic).
+          VertexId parent = kNoVertex;
+          VertexId root = kNoVertex;
+          for (const auto& env : inbox) {
+            if (env.msg.tag == Tag::kJoin && env.from < parent) {
+              parent = env.from;
+              root = static_cast<VertexId>(env.msg.words[0]);
+            }
+          }
+          if (parent != kNoVertex) {
+            f.root[v] = root;
+            f.parent[v] = parent;
+            f.depth[v] = level + 1;
+            next_frontier[v] = 1;
+            pending_accept[v] = parent;
+          }
+        } else {
+          for (const auto& env : inbox) {
+            if (env.msg.tag == Tag::kAccept) f.children[v].push_back(env.from);
+          }
         }
-      }
+      });
+
+  while (any_frontier || any_pending) {
+    net.run_round(program, reason);
+    ++level;
+    in_frontier.swap(next_frontier);
+    any_frontier = false;
+    any_pending = false;
+    for (VertexId v = 0; v < n; ++v) {
+      any_frontier = any_frontier || in_frontier[v];
+      any_pending = any_pending || pending_accept[v] != kNoVertex;
     }
-    frontier = std::move(next);
   }
-  // One final drain so the last level's ACCEPTs are recorded -- handled
-  // above because the loop continues while pending_accepts is non-empty.
+  for (VertexId v = 0; v < n; ++v) {
+    if (f.root[v] != kNoVertex) f.height = std::max(f.height, f.depth[v]);
+  }
   return f;
 }
 

@@ -2,13 +2,16 @@
 
 #include <map>
 
+#include "congest/engine.hpp"
 #include "primitives/aggregate.hpp"
 #include "util/check.hpp"
 
 namespace xd::prim {
 
+using congest::Envelope;
 using congest::Message;
 using congest::Network;
+using congest::Outbox;
 
 namespace {
 
@@ -31,6 +34,9 @@ std::vector<ScaledSample> sample_by_weight(
   std::vector<ScaledSample> samples;
   // tokens[v]: scale -> count currently held at v.
   std::vector<std::map<int, std::uint64_t>> tokens(n);
+  // Per-vertex sample buffers, drained level by level so the output order
+  // is (level, vertex)-major regardless of the executor's thread count.
+  std::vector<std::vector<ScaledSample>> sampled_at(n);
   for (VertexId v = 0; v < n; ++v) {
     if (!forest.is_active(v) || forest.parent[v] != v) continue;
     for (const auto& [scale, count] : tokens_at_root[v]) {
@@ -38,62 +44,78 @@ std::vector<ScaledSample> sample_by_weight(
     }
   }
 
-  for (std::uint32_t level = 0; level <= forest.height; ++level) {
-    bool traffic = false;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!forest.is_active(v) || forest.depth[v] != level) continue;
-      if (tokens[v].empty()) continue;
-      auto& rng = net.rng(v);
-      const std::uint64_t s_v = subtree[v];
-      const std::uint64_t w_v = weight[v];
-      // Per-child outgoing counts, keyed (child, scale).
-      std::map<std::pair<VertexId, int>, std::uint64_t> forward;
-      for (const auto& [scale, count] : tokens[v]) {
-        for (std::uint64_t t = 0; t < count; ++t) {
-          XD_CHECK_MSG(s_v > 0, "token reached a zero-weight subtree");
-          // Die here with probability w(v)/s(v).
-          if (rng.next_below(s_v) < w_v) {
-            samples.push_back(ScaledSample{v, scale});
-            continue;
-          }
-          // Otherwise descend: child u with probability s(u)/(s(v)-w(v)).
-          const std::uint64_t rest = s_v - w_v;
-          XD_CHECK(rest > 0);
-          std::uint64_t r = rng.next_below(rest);
-          VertexId chosen = kNoVertex;
-          for (VertexId c : forest.children[v]) {
-            if (r < subtree[c]) {
-              chosen = c;
-              break;
-            }
-            r -= subtree[c];
-          }
-          XD_CHECK_MSG(chosen != kNoVertex,
-                       "subtree weights inconsistent at vertex " << v);
-          ++forward[{chosen, scale}];
+  std::uint32_t level = 0;
+  // Token step at v: each token either dies here (recorded as a sample) or
+  // descends to a child, weighted by subtree sums.  Runs in the send phase
+  // (it consumes v's private randomness and stages the forwards).
+  const auto process_tokens = [&](VertexId v, Outbox* out) {
+    if (!forest.is_active(v) || forest.depth[v] != level) return;
+    if (tokens[v].empty()) return;
+    auto& rng = net.rng(v);
+    const std::uint64_t s_v = subtree[v];
+    const std::uint64_t w_v = weight[v];
+    // Per-child outgoing counts, keyed (child, scale).
+    std::map<std::pair<VertexId, int>, std::uint64_t> forward;
+    for (const auto& [scale, count] : tokens[v]) {
+      for (std::uint64_t t = 0; t < count; ++t) {
+        XD_CHECK_MSG(s_v > 0, "token reached a zero-weight subtree");
+        // Die here with probability w(v)/s(v).
+        if (rng.next_below(s_v) < w_v) {
+          sampled_at[v].push_back(ScaledSample{v, scale});
+          continue;
         }
-      }
-      tokens[v].clear();
-      for (const auto& [key, count] : forward) {
-        const auto& [child, scale] = key;
-        net.send_to(v, child,
-                    Message{kTokenTag,
-                            static_cast<std::uint64_t>(scale), count});
-        traffic = true;
+        // Otherwise descend: child u with probability s(u)/(s(v)-w(v)).
+        const std::uint64_t rest = s_v - w_v;
+        XD_CHECK(rest > 0);
+        std::uint64_t r = rng.next_below(rest);
+        VertexId chosen = kNoVertex;
+        for (VertexId c : forest.children[v]) {
+          if (r < subtree[c]) {
+            chosen = c;
+            break;
+          }
+          r -= subtree[c];
+        }
+        XD_CHECK_MSG(chosen != kNoVertex,
+                     "subtree weights inconsistent at vertex " << v);
+        ++forward[{chosen, scale}];
       }
     }
-    if (level == forest.height) break;
-    net.exchange(reason);
-    (void)traffic;
-    for (VertexId v = 0; v < n; ++v) {
-      if (!forest.is_active(v)) continue;
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag == kTokenTag) {
-          tokens[v][static_cast<int>(env.msg.words[0])] += env.msg.words[1];
-        }
-      }
+    tokens[v].clear();
+    for (const auto& [key, count] : forward) {
+      const auto& [child, scale] = key;
+      XD_CHECK_MSG(out != nullptr, "leaf level must not forward tokens");
+      out->send_to(child, Message{kTokenTag,
+                                  static_cast<std::uint64_t>(scale), count});
     }
+  };
+
+  auto program = congest::make_program(
+      [&](VertexId v, Outbox& out) { process_tokens(v, &out); },
+      [&](VertexId v, std::span<const Envelope> inbox) {
+        if (!forest.is_active(v)) return;
+        for (const auto& env : inbox) {
+          if (env.msg.tag == kTokenTag) {
+            tokens[v][static_cast<int>(env.msg.words[0])] += env.msg.words[1];
+          }
+        }
+      });
+
+  const auto drain_level = [&] {
+    for (VertexId v = 0; v < n; ++v) {
+      if (sampled_at[v].empty()) continue;
+      samples.insert(samples.end(), sampled_at[v].begin(), sampled_at[v].end());
+      sampled_at[v].clear();
+    }
+  };
+
+  for (level = 0; level < forest.height; ++level) {
+    net.run_round(program, reason);
+    drain_level();
   }
+  // Deepest level: tokens can only die locally, no exchange needed.
+  for (VertexId v = 0; v < n; ++v) process_tokens(v, nullptr);
+  drain_level();
 
   return samples;
 }

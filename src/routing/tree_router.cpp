@@ -78,23 +78,29 @@ std::uint64_t TreeRouter::route(const std::vector<Demand>& demands) {
   }
 
   // Synchronous store-and-forward: per directed edge (u, v), one message
-  // per round, FIFO by arrival.  Simulated exactly.
-  std::map<std::pair<VertexId, VertexId>, std::deque<std::size_t>> queues;
+  // per round, FIFO by arrival.  Simulated exactly.  Queues are keyed by
+  // the packed directed pair (same iteration order as the (u, v) pair, one
+  // flat word per key).
+  const auto edge_key = [](VertexId u, VertexId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  std::map<std::uint64_t, std::deque<std::size_t>> queues;
   std::size_t undelivered = 0;
   for (std::size_t i = 0; i < msgs.size(); ++i) {
     if (msgs[i].at + 1 < msgs[i].path.size()) {
-      queues[{msgs[i].path[0], msgs[i].path[1]}].push_back(i);
+      queues[edge_key(msgs[i].path[0], msgs[i].path[1])].push_back(i);
       ++undelivered;
     }
   }
 
   std::uint64_t rounds = 0;
   std::uint64_t messages_sent = 0;
+  std::vector<std::pair<std::uint64_t, std::size_t>> moves;
   while (undelivered > 0) {
     ++rounds;
     XD_CHECK_MSG(rounds < 100 * msgs.size() + 1000,
                  "store-and-forward failed to drain");
-    std::vector<std::pair<std::pair<VertexId, VertexId>, std::size_t>> moves;
+    moves.clear();
     for (auto& [edge, q] : queues) {
       if (!q.empty()) {
         moves.push_back({edge, q.front()});
@@ -105,9 +111,9 @@ std::uint64_t TreeRouter::route(const std::vector<Demand>& demands) {
       ++messages_sent;
       Msg& m = msgs[mi];
       ++m.at;
-      XD_CHECK(m.path[m.at] == edge.second);
+      XD_CHECK(m.path[m.at] == static_cast<VertexId>(edge & 0xffffffffu));
       if (m.at + 1 < m.path.size()) {
-        queues[{m.path[m.at], m.path[m.at + 1]}].push_back(mi);
+        queues[edge_key(m.path[m.at], m.path[m.at + 1])].push_back(mi);
       } else {
         --undelivered;
       }

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "congest/engine.hpp"
 #include "primitives/aggregate.hpp"
 #include "primitives/forest.hpp"
 #include "primitives/tree_search.hpp"
@@ -12,8 +13,10 @@
 
 namespace xd::sparsecut {
 
+using congest::Envelope;
 using congest::Message;
 using congest::Network;
+using congest::Outbox;
 using spectral::SparseDist;
 
 namespace {
@@ -38,49 +41,45 @@ std::vector<SparseDist> distributed_truncated_walk(Network& net,
   std::vector<SparseDist> evolution;
   evolution.push_back(SparseDist::point(start));
 
-  for (int t = 1; t <= steps; ++t) {
-    // Push phase: one bounded message per non-loop slot of each support
-    // vertex.
-    bool any = false;
-    for (VertexId v = 0; v < n; ++v) {
-      if (mass[v] <= 0.0) continue;
-      any = true;
-      const double share = mass[v] / (2.0 * g.degree(v));
-      auto nbrs = g.neighbors(v);
-      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-        if (nbrs[slot] == v) continue;
-        Message m{kMassTag, 0, 0};
-        m.set_double(0, share);
-        net.send(v, slot, m);
-      }
-    }
-    if (!any) break;
-    net.exchange(reason);
-
-    // Fold phase: ascending sender order, then retention, then truncation
-    // -- the same order as spectral::truncated_step so the two agree
-    // exactly.
-    std::vector<double> next(n, 0.0);
-    std::vector<std::pair<VertexId, double>> incoming;
-    for (VertexId u = 0; u < n; ++u) {
-      const auto inbox = net.inbox(u);
-      if (inbox.empty() && mass[u] <= 0.0) continue;
-      incoming.clear();
-      for (const auto& env : inbox) {
-        if (env.msg.tag == kMassTag) {
-          incoming.emplace_back(env.from, env.msg.get_double(0));
+  // One engine superstep per walk step: the send phase pushes half of each
+  // support vertex's mass in equal per-slot shares; the receive phase folds
+  // in ascending sender order, then retention, then truncation -- the same
+  // order as spectral::truncated_step so the two agree exactly.
+  std::vector<double> next(n, 0.0);
+  auto program = congest::make_program(
+      [&](VertexId v, Outbox& out) {
+        if (mass[v] <= 0.0) return;
+        const double share = mass[v] / (2.0 * g.degree(v));
+        auto nbrs = g.neighbors(v);
+        for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+          if (nbrs[slot] == v) continue;
+          Message m{kMassTag, 0, 0};
+          m.set_double(0, share);
+          out.send(slot, m);
         }
-      }
-      std::sort(incoming.begin(), incoming.end());
-      double m = 0.0;
-      for (const auto& [v, share] : incoming) m += share;
-      if (mass[u] > 0.0) {
-        m += mass[u] / 2.0 + static_cast<double>(g.loops_at(u)) * mass[u] /
-                                 (2.0 * g.degree(u));
-      }
-      if (m >= 2.0 * epsilon * g.degree(u)) next[u] = m;
-    }
-    mass = std::move(next);
+      },
+      [&](VertexId u, std::span<const Envelope> inbox) {
+        next[u] = 0.0;
+        if (inbox.empty() && mass[u] <= 0.0) return;
+        double m = 0.0;
+        for (const auto& env : inbox) {
+          // The flat inboxes are canonically sender-ascending, the fold
+          // order the truncated-step contract requires.
+          if (env.msg.tag == kMassTag) m += env.msg.get_double(0);
+        }
+        if (mass[u] > 0.0) {
+          m += mass[u] / 2.0 + static_cast<double>(g.loops_at(u)) * mass[u] /
+                                   (2.0 * g.degree(u));
+        }
+        if (m >= 2.0 * epsilon * g.degree(u)) next[u] = m;
+      });
+
+  for (int t = 1; t <= steps; ++t) {
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) any = any || mass[v] > 0.0;
+    if (!any) break;
+    net.run_round(program, reason);
+    mass = next;
 
     SparseDist dist;
     for (VertexId v = 0; v < n; ++v) {
@@ -179,26 +178,28 @@ DistributedNibbleResult distributed_approximate_nibble(Network& net,
       keys[dist.support[i]] = dist.mass[i] / g.degree(dist.support[i]);
     }
 
-    // One exchange: every support vertex tells neighbors its key (the
+    // One superstep: every support vertex tells neighbors its key (the
     // local data for prefix-cut evaluation).
-    for (const VertexId v : dist.support) {
-      auto nbrs = g.neighbors(v);
-      for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
-        if (nbrs[slot] == v) continue;
-        Message m{kKeyTag, 0, 0};
-        m.set_double(0, keys[v]);
-        net.send(v, slot, m);
-      }
-    }
-    net.exchange(reason);
     std::vector<std::vector<std::pair<VertexId, double>>> nbr_keys(n);
-    for (VertexId v = 0; v < n; ++v) {
-      for (const auto& env : net.inbox(v)) {
-        if (env.msg.tag == kKeyTag) {
-          nbr_keys[v].emplace_back(env.from, env.msg.get_double(0));
-        }
-      }
-    }
+    auto key_program = congest::make_program(
+        [&](VertexId v, Outbox& out) {
+          if (keys[v] <= 0.0) return;
+          auto nbrs = g.neighbors(v);
+          for (std::uint32_t slot = 0; slot < nbrs.size(); ++slot) {
+            if (nbrs[slot] == v) continue;
+            Message m{kKeyTag, 0, 0};
+            m.set_double(0, keys[v]);
+            out.send(slot, m);
+          }
+        },
+        [&](VertexId v, std::span<const Envelope> inbox) {
+          for (const auto& env : inbox) {
+            if (env.msg.tag == kKeyTag) {
+              nbr_keys[v].emplace_back(env.from, env.msg.get_double(0));
+            }
+          }
+        });
+    net.run_round(key_program, reason);
 
     const std::uint64_t jmax = dist.size();
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,6 +48,8 @@ std::vector<Triangle> enumerate_cluster(
   // the proxy buckets (data plane).
   std::vector<routing::Demand> demands;
   std::map<std::uint64_t, std::vector<std::pair<VertexId, VertexId>>> buckets;
+  std::vector<std::uint64_t> targets;
+  targets.reserve(p);
   for (const EdgeId e : edge_ids) {
     const auto [u, v] = ambient.edge(e);
     if (u == v) continue;
@@ -64,10 +65,14 @@ std::vector<Triangle> enumerate_cluster(
     }
     const std::uint32_t gu = groups[u];
     const std::uint32_t gv = groups[v];
-    std::set<std::uint64_t> targets;
+    // The p sorted triples over {gu, gv} are pairwise distinct; a flat
+    // sort reproduces the old std::set iteration order without the
+    // per-edge node allocations.
+    targets.clear();
     for (std::uint32_t c = 0; c < p; ++c) {
-      targets.insert(triple_key(gu, gv, c, p));
+      targets.push_back(triple_key(gu, gv, c, p));
     }
+    std::sort(targets.begin(), targets.end());
     for (const std::uint64_t key : targets) {
       const VertexId host = host_of[key];
       buckets[key].emplace_back(std::min(u, v), std::max(u, v));
