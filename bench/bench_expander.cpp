@@ -5,12 +5,22 @@
 //        conductance vs φ_k, Remove-1/2/3 budget split;
 //   E3b  the n^{2/k} knob: rounds for k = 1, 2, 3 on growing SBMs, with
 //        log-log slopes of the Phase 2 related charges;
-//   E3c  ε sweep on one graph: cut fraction tracks the budget.
+//   E3c  ε sweep on one graph: cut fraction tracks the budget;
+//   E3d  the concurrent component scheduler: sequential (rounds SUM over
+//        components) vs epoch scheduler (rounds MAX per level) at 1/2/8
+//        host threads -- simulated rounds and wall-clock.
+//
+// With --json FILE, the E3d comparison is also written as JSON (the
+// BENCH_expander.json trajectory emitted by bench/run_all.sh).
 
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/xd.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -26,9 +36,21 @@ expander::DecompositionResult run(const Graph& g, double eps, int k,
   return expander::expander_decomposition(g, prm, rng, ledger);
 }
 
+double elapsed_ms(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   Rng master(90210);
 
   Table e3a("E3a: decomposition quality (epsilon = 0.25, k = 2, phi0 = 0.06)",
@@ -149,5 +171,88 @@ int main() {
     }
   }
   e3c.print();
+
+  // E3d: the fork/join scheduler.  The dumbbell is the cleanest workload
+  // for the sum-vs-max distinction: one bridge cut, then two equal
+  // expander halves whose certification calls a sequential simulation
+  // charges back-to-back while one CONGEST network runs them
+  // simultaneously -- so scheduler rounds land near half the sequential
+  // total.  Rounds are identical at every thread count >= 1 (forked
+  // ledgers join by max); threads shape wall-clock only, so the speedup
+  // column reports whatever the host's cores give (≈1 or below on a
+  // single-core CI box, where spawning buys nothing).
+  Table e3d("E3d: concurrent component scheduler (dumbbell(240,240), "
+            "k = 2, phi0 = 0.02)",
+            {"mode", "host threads", "rounds", "epochs", "wall ms",
+             "round reduction", "speedup"});
+  {
+    Rng rg = master.fork(41);
+    const Graph g = gen::dumbbell_expanders(240, 240, 4, 2, rg);
+
+    const auto timed_run = [&](int scheduler_threads, double& ms,
+                               congest::RoundLedger& ledger) {
+      expander::DecompositionParams prm;
+      prm.epsilon = 0.25;
+      prm.k = 2;
+      prm.phi0_override = 0.02;
+      prm.scheduler_threads = scheduler_threads;
+      Rng rng(4242);
+      const auto start = std::chrono::steady_clock::now();
+      const auto res = expander::expander_decomposition(g, prm, rng, ledger);
+      ms = elapsed_ms(start);
+      return res;
+    };
+
+    double seq_ms = 0.0;
+    congest::RoundLedger seq_ledger;
+    const auto seq = timed_run(0, seq_ms, seq_ledger);
+    e3d.add_row({"sequential", Table::cell(1), Table::cell(seq.rounds),
+                 Table::cell(seq.epochs), Table::cell(seq_ms, 1),
+                 Table::cell(1.0, 2), Table::cell(1.0, 2)});
+
+    struct SchedPoint {
+      int threads;
+      std::uint64_t rounds;
+      double ms;
+    };
+    std::vector<SchedPoint> points;
+    for (const int threads : {1, 2, 8}) {
+      double ms = 0.0;
+      congest::RoundLedger ledger;
+      const auto res = timed_run(threads, ms, ledger);
+      XD_CHECK_MSG(res.component == seq.component,
+                   "scheduler output diverged at " << threads << " threads");
+      points.push_back({threads, res.rounds, ms});
+      e3d.add_row({"scheduler", Table::cell(threads), Table::cell(res.rounds),
+                   Table::cell(res.epochs), Table::cell(ms, 1),
+                   Table::cell(static_cast<double>(seq.rounds) /
+                                   static_cast<double>(res.rounds),
+                               2),
+                   Table::cell(seq_ms / ms, 2)});
+    }
+    e3d.print();
+
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      os << "{\n  \"graph\": \"dumbbell_expanders(240,240,4,2)\",\n"
+         << "  \"n\": " << g.num_vertices() << ",\n"
+         << "  \"m\": " << g.num_edges() << ",\n"
+         << "  \"sequential\": {\"rounds\": " << seq.rounds
+         << ", \"wall_ms\": " << seq_ms << "},\n"
+         << "  \"scheduler\": [\n";
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        os << "    {\"threads\": " << points[i].threads
+           << ", \"rounds\": " << points[i].rounds
+           << ", \"wall_ms\": " << points[i].ms << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+      }
+      os << "  ],\n"
+         << "  \"round_reduction\": "
+         << (static_cast<double>(seq.rounds) /
+             static_cast<double>(points.front().rounds))
+         << ",\n  \"outputs_bit_identical\": true\n}\n";
+      std::cerr << "wrote " << json_path << "\n";
+    }
+  }
   return 0;
 }

@@ -23,7 +23,10 @@
 /// over vertices, the barrier between them is the exchange itself, and
 /// delivery order is canonicalized by directed slot before inboxes are
 /// built, so results are bit-identical across thread counts.  See
-/// docs/engine.md for the full determinism contract.
+/// docs/engine.md for the full determinism contract.  One level up,
+/// scheduler.hpp applies the same contract across whole networks: disjoint
+/// components of a decomposition level run as concurrent work items, each
+/// charging a forked ledger branch (joined by max -- docs/rounds.md).
 
 #include <cstdint>
 #include <span>

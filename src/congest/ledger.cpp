@@ -14,6 +14,31 @@ std::uint64_t RoundLedger::rounds_for(std::string_view reason) const {
   return it == by_reason_.end() ? 0 : it->second;
 }
 
+RoundLedger& RoundLedger::fork() {
+  children_.push_back(std::make_unique<RoundLedger>());
+  return *children_.back();
+}
+
+void RoundLedger::join() {
+  if (children_.empty()) return;
+  std::uint64_t max_rounds = 0;
+  std::uint64_t sum_messages = 0;
+  std::map<std::string, std::uint64_t> label_max;
+  for (const auto& child : children_) {
+    child->join();  // nested forks resolve bottom-up
+    max_rounds = std::max(max_rounds, child->rounds_);
+    sum_messages += child->messages_;
+    for (const auto& [label, rounds] : child->by_reason_) {
+      auto& slot = label_max[label];
+      slot = std::max(slot, rounds);
+    }
+  }
+  rounds_ += max_rounds;
+  messages_ += sum_messages;
+  for (const auto& [label, rounds] : label_max) by_reason_[label] += rounds;
+  children_.clear();
+}
+
 std::string RoundLedger::report() const {
   std::ostringstream os;
   os << "rounds=" << rounds_ << " messages=" << messages_ << "\n";
@@ -27,6 +52,7 @@ void RoundLedger::reset() {
   rounds_ = 0;
   messages_ = 0;
   by_reason_.clear();
+  children_.clear();
 }
 
 }  // namespace xd::congest

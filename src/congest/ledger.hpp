@@ -5,16 +5,25 @@
 ///
 /// Every simulated communication step charges rounds here, labeled with the
 /// lemma/phase it implements, so a bench can both report the total and
-/// explain where it went.  The charging rules are documented in DESIGN.md §2:
-/// a kernel exchange that multiplexes c messages over the most loaded
-/// directed edge costs c rounds (bandwidth is one message per edge per
-/// round); orchestrated control-flow decisions charge the broadcast /
-/// convergecast depth of the tree they would run over.
+/// explain where it went.  The charging rules are documented in
+/// docs/rounds.md: a kernel exchange that multiplexes c messages over the
+/// most loaded directed edge costs c rounds (bandwidth is one message per
+/// edge per round); orchestrated control-flow decisions charge the
+/// broadcast / convergecast depth of the tree they would run over.
+///
+/// Concurrent components share the clock.  When vertex-disjoint parts of
+/// the graph run their protocols simultaneously (one CONGEST network, one
+/// round counter -- the composition Theorems 1 and 2 assume), fork() hands
+/// each branch an independent sub-ledger and join() merges them by charging
+/// the MAX of the branches' round totals while summing their messages.
+/// Sequentialized execution keeps the classic behavior: charges add up.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace xd::congest {
 
@@ -38,16 +47,42 @@ class RoundLedger {
     return by_reason_;
   }
 
+  // ------------------------------------------------------------ fork/join
+
+  /// Begins an independent branch for a concurrently-executing component.
+  /// The child ledger is owned by this one and its address is stable until
+  /// join() or reset().  Threading contract: fork every branch of a batch
+  /// before handing them to worker threads, charge each branch from at most
+  /// one thread at a time, and call join() only after the workers finished
+  /// (the epoch barrier).  fork() and join() themselves must run on the
+  /// owner's thread.
+  RoundLedger& fork();
+
+  /// Merges and discards all outstanding forked children (recursively
+  /// joining theirs first).  Concurrent branches share the clock:
+  ///   rounds   += max over children of child.rounds()
+  ///   messages += sum over children of child.messages()
+  /// and each label's breakdown advances by the max of that label across
+  /// children (the label's parallel critical depth).  Per-label entries
+  /// may therefore sum to more than rounds() after a join; rounds() is
+  /// always the simulated clock.  No-op when nothing is forked.
+  void join();
+
+  /// Outstanding (not yet joined) forked children.
+  [[nodiscard]] std::size_t forked() const { return children_.size(); }
+
   /// Human-readable multi-line report.
   [[nodiscard]] std::string report() const;
 
-  /// Resets all counters.
+  /// Resets all counters and discards any forked children.
   void reset();
 
  private:
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
   std::map<std::string, std::uint64_t> by_reason_;
+  /// unique_ptr keeps child addresses stable while the vector grows.
+  std::vector<std::unique_ptr<RoundLedger>> children_;
 };
 
 }  // namespace xd::congest

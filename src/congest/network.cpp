@@ -1,10 +1,8 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
 
+#include "congest/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace xd::congest {
@@ -216,62 +214,36 @@ std::uint64_t Network::run_round(VertexProgram& program,
   }
 
   // Parallel executor: contiguous vertex ranges, one staging buffer per
-  // worker.  Merging buffers in worker order keeps each sender's messages
-  // contiguous and in send order, which is all the canonical delivery sort
-  // needs for bit-identical results at any thread count.  Threads are
-  // spawned per phase (simple and correct); protocols with thousands of
-  // tiny rounds that want a persistent pool should drive phases serially
-  // or batch rounds -- revisit if a workload shows the spawn cost.
+  // worker, run on the shared pool idiom (EpochScheduler::run_partitioned,
+  // which also rethrows the first worker exception after its join barrier).
+  // Merging buffers in worker order keeps each sender's messages contiguous
+  // and in send order, which is all the canonical delivery sort needs for
+  // bit-identical results at any thread count.  Threads are spawned per
+  // phase (simple and correct); protocols with thousands of tiny rounds
+  // that want a persistent pool should drive phases serially or batch
+  // rounds -- revisit if a workload shows the spawn cost.
   worker_bufs_.resize(static_cast<std::size_t>(workers));
-  const auto range_of = [&](int w) {
-    const std::size_t lo = n * static_cast<std::size_t>(w) /
-                           static_cast<std::size_t>(workers);
-    const std::size_t hi = n * (static_cast<std::size_t>(w) + 1) /
-                           static_cast<std::size_t>(workers);
-    return std::pair<VertexId, VertexId>{static_cast<VertexId>(lo),
-                                         static_cast<VertexId>(hi)};
-  };
 
-  // A phase callback that throws (every XD_CHECK) must surface the same
-  // catchable exception the serial path gives, not std::terminate the
-  // process from inside a worker thread: capture the first exception and
-  // rethrow after the join barrier.
-  const auto run_phase = [&](auto&& body) {
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        try {
-          const auto [lo, hi] = range_of(w);
-          body(w, lo, hi);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+  EpochScheduler::run_partitioned(
+      n, workers, [&](int w, std::size_t lo, std::size_t hi) {
+        auto& buf = worker_bufs_[static_cast<std::size_t>(w)];
+        buf.clear();
+        Outbox out(this, &buf);
+        for (auto v = static_cast<VertexId>(lo); v < hi; ++v) {
+          out.vertex_ = v;
+          program.on_send(v, out);
         }
       });
-    }
-    for (auto& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  };
-
-  run_phase([&](int w, VertexId lo, VertexId hi) {
-    auto& buf = worker_bufs_[static_cast<std::size_t>(w)];
-    buf.clear();
-    Outbox out(this, &buf);
-    for (VertexId v = lo; v < hi; ++v) {
-      out.vertex_ = v;
-      program.on_send(v, out);
-    }
-  });
   for (auto& buf : worker_bufs_) outbox_.append(buf);
 
   const std::uint64_t rounds = do_exchange(reason, false, 0);
 
-  run_phase([&](int /*w*/, VertexId lo, VertexId hi) {
-    for (VertexId v = lo; v < hi; ++v) program.on_receive(v, inbox(v));
-  });
+  EpochScheduler::run_partitioned(
+      n, workers, [&](int /*w*/, std::size_t lo, std::size_t hi) {
+        for (auto v = static_cast<VertexId>(lo); v < hi; ++v) {
+          program.on_receive(v, inbox(v));
+        }
+      });
   return rounds;
 }
 

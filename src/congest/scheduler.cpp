@@ -1,0 +1,96 @@
+#include "congest/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xd::congest {
+
+namespace {
+
+/// Spawns `workers` threads over `body(worker)`, joins them, and rethrows
+/// the first exception so XD_CHECK failures inside a worker surface as the
+/// same catchable error the serial path gives.
+void spawn_join(int workers, const std::function<void(int)>& body) {
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        body(w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void EpochScheduler::set_threads(int threads) {
+  XD_CHECK_MSG(threads >= 1, "scheduler thread count must be >= 1");
+  threads_ = threads;
+}
+
+void EpochScheduler::run(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) const {
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                                             n ? n : 1));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  spawn_join(workers, [&](int /*w*/) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  });
+}
+
+void EpochScheduler::run_forked(
+    RoundLedger& root, std::size_t n,
+    const std::function<void(std::size_t, RoundLedger&)>& fn) const {
+  std::vector<RoundLedger*> branches;
+  branches.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) branches.push_back(&root.fork());
+  try {
+    run(n, [&](std::size_t i) { fn(i, *branches[i]); });
+  } catch (...) {
+    root.join();
+    throw;
+  }
+  root.join();
+}
+
+void EpochScheduler::run_partitioned(
+    std::size_t n, int workers,
+    const std::function<void(int, std::size_t, std::size_t)>& body) {
+  XD_CHECK_MSG(workers >= 1, "worker count must be >= 1");
+  if (workers == 1) {
+    body(0, 0, n);
+    return;
+  }
+  spawn_join(workers, [&](int w) {
+    const std::size_t lo =
+        n * static_cast<std::size_t>(w) / static_cast<std::size_t>(workers);
+    const std::size_t hi = n * (static_cast<std::size_t>(w) + 1) /
+                           static_cast<std::size_t>(workers);
+    body(w, lo, hi);
+  });
+}
+
+}  // namespace xd::congest

@@ -24,7 +24,8 @@
 ///     enumerate_local_baseline as the baselines.
 ///
 /// Substrates (usable on their own): the CONGEST kernel
-/// (xd::congest::Network, RoundLedger), graph generators (xd::gen), exact
+/// (xd::congest::Network, RoundLedger with fork/join round accounting, the
+/// EpochScheduler component pool), graph generators (xd::gen), exact
 /// metrics, spectral tools (lazy walks, sweep cuts, mixing times), the MPX
 /// low-diameter decomposition (Theorem 4: xd::ldd::low_diameter_
 /// decomposition), and expander routers (xd::routing).
@@ -34,6 +35,7 @@
 #include "congest/ledger.hpp"
 #include "congest/message.hpp"
 #include "congest/network.hpp"
+#include "congest/scheduler.hpp"
 #include "expander/decomposition.hpp"
 #include "expander/params.hpp"
 #include "expander/verify.hpp"

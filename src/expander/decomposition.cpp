@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <utility>
 
 #include "congest/network.hpp"
+#include "congest/scheduler.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "ldd/ldd.hpp"
@@ -15,12 +16,41 @@ namespace xd::expander {
 
 namespace {
 
-/// Mutable driver state shared by both phases.
+/// One schedulable unit of decomposition work.  Items of an epoch are
+/// vertex-disjoint, carry their own seed-split Rng, and never mutate shared
+/// driver state -- their effects come back as an ItemResult that the driver
+/// merges in item-index order at the epoch barrier.  That discipline is the
+/// whole determinism argument: an item's computation depends only on its
+/// own inputs, so neither the host thread running it nor the finish order
+/// can change what it produces.
+struct WorkItem {
+  enum class Kind {
+    kLdd,     ///< Phase 1 step 1: LDD the part, emit kCut per component
+    kCut,     ///< Phase 1 step 2: sparse-cut one component
+    kPhase2,  ///< the whole Phase 2 level loop for one entered component
+  };
+  Kind kind;
+  std::vector<VertexId> u;
+  std::uint32_t depth = 0;
+  Rng rng{0};
+};
+
+/// Deferred effects of one work item, applied by the driver at the barrier.
+struct ItemResult {
+  std::vector<std::pair<EdgeId, RemoveReason>> removals;
+  std::vector<std::vector<VertexId>> finals;
+  std::vector<WorkItem> children;
+  std::uint64_t sparse_cut_calls = 0;
+  std::uint64_t phase2_entries = 0;
+  std::uint64_t singletons = 0;
+  std::uint32_t depth_seen = 0;
+};
+
+/// Epoch-batched driver shared by the sequential and concurrent modes.
 struct Driver {
   const Graph* g = nullptr;
   DecompositionParams prm;
   Schedule schedule;
-  Rng* rng = nullptr;
   congest::RoundLedger* ledger = nullptr;
 
   std::vector<char> removed;               // ambient edge overlay
@@ -33,61 +63,122 @@ struct Driver {
     return vol;
   }
 
-  void finalize(std::vector<VertexId> ids) { finals.push_back(std::move(ids)); }
-
   void mark_removed(EdgeId ambient, RemoveReason reason) {
     XD_CHECK(!removed[ambient]);
     removed[ambient] = 1;
     ++out->removed_by[static_cast<int>(reason)];
   }
 
-  void phase1(std::vector<VertexId> u, std::uint32_t depth);
-  void phase2(std::vector<VertexId> u);
+  void run(std::vector<VertexId> start, Rng top_rng);
+  ItemResult run_item(WorkItem& item, congest::RoundLedger& lg) const;
+  ItemResult run_ldd(WorkItem& item, congest::RoundLedger& lg) const;
+  ItemResult run_cut(WorkItem& item, congest::RoundLedger& lg) const;
+  ItemResult run_phase2(WorkItem& item, congest::RoundLedger& lg) const;
 };
 
-void Driver::phase1(std::vector<VertexId> u, std::uint32_t depth) {
-  out->max_phase1_depth = std::max(out->max_phase1_depth, depth);
-  if (u.size() <= 1) {
-    finalize(std::move(u));
-    return;
+void Driver::run(std::vector<VertexId> start, Rng top_rng) {
+  std::vector<WorkItem> epoch;
+  epoch.push_back(
+      WorkItem{WorkItem::Kind::kLdd, std::move(start), 0, top_rng});
+
+  // Sequential mode charges the root ledger directly (components pay one
+  // after another: rounds SUM).  Concurrent mode runs each epoch's items on
+  // the host pool against forked ledger branches and joins them at the
+  // barrier (components share the clock: rounds advance by the epoch MAX,
+  // the composition the paper's Theorem 1/2 bounds assume).
+  const bool concurrent = prm.scheduler_threads >= 1;
+  const congest::EpochScheduler pool(concurrent ? prm.scheduler_threads : 1);
+
+  while (!epoch.empty()) {
+    ++out->epochs;
+    std::vector<ItemResult> results(epoch.size());
+    if (concurrent) {
+      pool.run_forked(*ledger, epoch.size(),
+                      [&](std::size_t i, congest::RoundLedger& lg) {
+                        results[i] = run_item(epoch[i], lg);
+                      });
+    } else {
+      for (std::size_t i = 0; i < epoch.size(); ++i) {
+        results[i] = run_item(epoch[i], *ledger);
+      }
+    }
+
+    // Barrier merge, in item-index order so ids and counters replay
+    // identically at every thread count.
+    std::vector<WorkItem> next;
+    for (auto& res : results) {
+      for (const auto& [ambient, reason] : res.removals) {
+        mark_removed(ambient, reason);
+      }
+      for (auto& part : res.finals) finals.push_back(std::move(part));
+      for (auto& child : res.children) next.push_back(std::move(child));
+      out->sparse_cut_calls += res.sparse_cut_calls;
+      out->phase2_entries += res.phase2_entries;
+      out->singleton_components += res.singletons;
+      out->max_phase1_depth = std::max(out->max_phase1_depth, res.depth_seen);
+    }
+    epoch = std::move(next);
   }
-  if (depth > schedule.d) {
+}
+
+ItemResult Driver::run_item(WorkItem& item, congest::RoundLedger& lg) const {
+  switch (item.kind) {
+    case WorkItem::Kind::kLdd:
+      return run_ldd(item, lg);
+    case WorkItem::Kind::kCut:
+      return run_cut(item, lg);
+    case WorkItem::Kind::kPhase2:
+      return run_phase2(item, lg);
+  }
+  XD_CHECK_MSG(false, "unreachable work-item kind");
+  return {};
+}
+
+// Phase 1, step 1: LDD on G{U}; Remove-1 its cut edges; one kCut child per
+// surviving component.
+ItemResult Driver::run_ldd(WorkItem& item, congest::RoundLedger& lg) const {
+  ItemResult res;
+  res.depth_seen = item.depth;
+  std::vector<VertexId>& u = item.u;
+  if (u.size() <= 1) {
+    res.finals.push_back(std::move(u));
+    return res;
+  }
+  if (item.depth > schedule.d) {
     // Lemma 1 proves this cannot happen with the paper constants; with
     // practical constants it is a stopgap, and the affected part simply
     // becomes final (costing conductance quality, never correctness of the
     // partition).
-    finalize(std::move(u));
-    return;
+    res.finals.push_back(std::move(u));
+    return res;
   }
 
-  // --- Step 1: LDD on G{U}; Remove-1 its cut edges. ---
   // Practical preset skips the call when the part's measured diameter
   // already meets the O(log²n/β²) bound LDD guarantees -- the LDD is then
   // a no-op by its own contract (it may legally cut nothing), and the
   // 2 ln n / β MPX epochs are saved.  Paper mode always runs it.
   const LiveSubgraph live = live_subgraph(*g, removed, VertexSet(u));
-  const double logn =
-      std::log(std::max<double>(g->num_vertices(), 2));
+  const double logn = std::log(std::max<double>(g->num_vertices(), 2));
   const double ldd_diameter_bound =
       150.0 * logn * logn / (schedule.beta * schedule.beta);
-  const bool run_ldd =
+  const bool run_ldd_call =
       prm.preset == Preset::kPaper ||
       static_cast<double>(diameter_double_sweep(live.graph)) >
           ldd_diameter_bound;
 
   std::vector<std::vector<VertexId>> comps;
-  if (run_ldd) {
+  if (run_ldd_call) {
     ldd::LddParams ldd_prm;
     ldd_prm.beta = schedule.beta;
     ldd_prm.K = prm.ldd_K;
-    congest::Network net(live.graph, *ledger, (*rng)());
+    congest::Network net(live.graph, lg, item.rng());
     const ldd::LddResult ldd_res =
-        ldd::low_diameter_decomposition(net, ldd_prm, *rng);
+        ldd::low_diameter_decomposition(net, ldd_prm, item.rng);
     for (EdgeId e = 0; e < live.graph.num_edges(); ++e) {
       if (ldd_res.cut_edge[e]) {
         const EdgeId parent = live.edge_to_parent[e];
         XD_CHECK(parent != LiveSubgraph::kNoEdge);
-        mark_removed(parent, RemoveReason::kLdd);
+        res.removals.emplace_back(parent, RemoveReason::kLdd);
       }
     }
     comps.resize(ldd_res.num_components);
@@ -102,61 +193,97 @@ void Driver::phase1(std::vector<VertexId> u, std::uint32_t depth) {
     }
   }
 
-  // --- Step 2: sparse cut on each component of what remains. ---
+  // Each surviving component becomes a sparse-cut item of the next epoch,
+  // with its own stream split off this item's (fork does not advance the
+  // parent, and child ids only count scheduled children, so the split is a
+  // pure function of the item's deterministic computation).
+  std::uint64_t child_id = 0;
   for (auto& comp : comps) {
     if (comp.empty()) continue;
     if (comp.size() == 1) {
-      finalize(std::move(comp));
+      res.finals.push_back(std::move(comp));
       continue;
     }
-    const LiveSubgraph comp_live = live_subgraph(*g, removed, VertexSet(comp));
-    if (comp_live.graph.volume() == 0) {
-      finalize(std::move(comp));
-      continue;
-    }
-    ++out->sparse_cut_calls;
-    const auto diameter = diameter_double_sweep(comp_live.graph);
-    const auto res = sparsecut::nearly_most_balanced_sparse_cut(
-        comp_live.graph, schedule.phi[0], prm.preset, *rng, *ledger, diameter,
-        prm.thorough_partition);
-
-    if (!res.found()) {
-      finalize(std::move(comp));  // certified: Φ(G{U}) >= φ₀ (w.h.p.)
-      continue;
-    }
-    const std::uint64_t vol_u = comp_live.graph.volume();
-    const std::uint64_t vol_c = volume(comp_live.graph, res.cut);
-    // Phase-2 entry (Step 2b).  The paper's ε/12 threshold composes with
-    // Theorem 3's bal >= min{b/2, 1/48} only when ε <= 1/4; the min keeps
-    // the Lemma 2 argument valid for every ε in (0, 1).
-    const double entry = std::min(prm.epsilon / 12.0, 1.0 / 48.0);
-    if (static_cast<double>(vol_c) <= entry * static_cast<double>(vol_u)) {
-      ++out->phase2_entries;
-      phase2(std::move(comp));  // cut edges intentionally kept (Step 2b)
-      continue;
-    }
-
-    // Step 2c: Remove-2 the cut edges, recurse on both sides.
-    const auto in_cut = res.cut.bitmap(comp_live.graph.num_vertices());
-    for (EdgeId e = 0; e < comp_live.graph.num_edges(); ++e) {
-      const auto [x, y] = comp_live.graph.edge(e);
-      if (x == y) continue;
-      if (in_cut[x] != in_cut[y]) {
-        const EdgeId parent = comp_live.edge_to_parent[e];
-        XD_CHECK(parent != LiveSubgraph::kNoEdge);
-        mark_removed(parent, RemoveReason::kSparseCut);
-      }
-    }
-    std::vector<VertexId> side_c, side_rest;
-    for (VertexId lv = 0; lv < comp_live.graph.num_vertices(); ++lv) {
-      (in_cut[lv] ? side_c : side_rest).push_back(comp_live.to_parent[lv]);
-    }
-    phase1(std::move(side_c), depth + 1);
-    phase1(std::move(side_rest), depth + 1);
+    res.children.push_back(WorkItem{WorkItem::Kind::kCut, std::move(comp),
+                                    item.depth, item.rng.fork(child_id++)});
   }
+  return res;
 }
 
-void Driver::phase2(std::vector<VertexId> u) {
+// Phase 1, step 2 for one component: nearly most balanced sparse cut, then
+// finalize / enter Phase 2 / Remove-2 and recurse.
+ItemResult Driver::run_cut(WorkItem& item, congest::RoundLedger& lg) const {
+  ItemResult res;
+  res.depth_seen = item.depth;
+  std::vector<VertexId>& comp = item.u;
+  const LiveSubgraph comp_live = live_subgraph(*g, removed, VertexSet(comp));
+  if (comp_live.graph.volume() == 0) {
+    res.finals.push_back(std::move(comp));
+    return res;
+  }
+  ++res.sparse_cut_calls;
+  const auto diameter = diameter_double_sweep(comp_live.graph);
+  const auto cut_res = sparsecut::nearly_most_balanced_sparse_cut(
+      comp_live.graph, schedule.phi[0], prm.preset, item.rng, lg, diameter,
+      prm.thorough_partition);
+
+  if (!cut_res.found()) {
+    res.finals.push_back(std::move(comp));  // certified: Φ(G{U}) >= φ₀ (whp)
+    return res;
+  }
+  const std::uint64_t vol_u = comp_live.graph.volume();
+  const std::uint64_t vol_c = volume(comp_live.graph, cut_res.cut);
+  // Phase-2 entry (Step 2b).  The paper's ε/12 threshold composes with
+  // Theorem 3's bal >= min{b/2, 1/48} only when ε <= 1/4; the min keeps
+  // the Lemma 2 argument valid for every ε in (0, 1).
+  const double entry = std::min(prm.epsilon / 12.0, 1.0 / 48.0);
+  if (static_cast<double>(vol_c) <= entry * static_cast<double>(vol_u)) {
+    ++res.phase2_entries;
+    // Cut edges intentionally kept (Step 2b); the Phase 2 loop inherits
+    // this item's stream.
+    res.children.push_back(WorkItem{WorkItem::Kind::kPhase2, std::move(comp),
+                                    item.depth, item.rng});
+    return res;
+  }
+
+  // Step 2c: Remove-2 the cut edges, recurse on both sides.
+  const auto in_cut = cut_res.cut.bitmap(comp_live.graph.num_vertices());
+  for (EdgeId e = 0; e < comp_live.graph.num_edges(); ++e) {
+    const auto [x, y] = comp_live.graph.edge(e);
+    if (x == y) continue;
+    if (in_cut[x] != in_cut[y]) {
+      const EdgeId parent = comp_live.edge_to_parent[e];
+      XD_CHECK(parent != LiveSubgraph::kNoEdge);
+      res.removals.emplace_back(parent, RemoveReason::kSparseCut);
+    }
+  }
+  std::vector<VertexId> side_c, side_rest;
+  for (VertexId lv = 0; lv < comp_live.graph.num_vertices(); ++lv) {
+    (in_cut[lv] ? side_c : side_rest).push_back(comp_live.to_parent[lv]);
+  }
+  res.children.push_back(WorkItem{WorkItem::Kind::kLdd, std::move(side_c),
+                                  item.depth + 1, item.rng.fork(0)});
+  res.children.push_back(WorkItem{WorkItem::Kind::kLdd, std::move(side_rest),
+                                  item.depth + 1, item.rng.fork(1)});
+  return res;
+}
+
+// Phase 2: the level schedule with Remove-3 rip-outs, sequential within one
+// entered component (the loop's state genuinely chains), concurrent across
+// components.  The item works against a private copy of the removal overlay
+// because its own rip-outs must be visible to its next iteration; only its
+// component's edges differ from the shared snapshot.
+ItemResult Driver::run_phase2(WorkItem& item, congest::RoundLedger& lg) const {
+  ItemResult res;
+  res.depth_seen = item.depth;
+  std::vector<VertexId> u = std::move(item.u);
+  std::vector<char> local_removed = removed;
+  const auto rip = [&](EdgeId ambient) {
+    XD_CHECK(!local_removed[ambient]);
+    local_removed[ambient] = 1;
+    res.removals.emplace_back(ambient, RemoveReason::kRipOut);
+  };
+
   const std::uint64_t vol_u = ambient_volume(u);
   XD_CHECK(vol_u > 0);
   const double m1 = (prm.epsilon / 6.0) * static_cast<double>(vol_u);
@@ -164,7 +291,7 @@ void Driver::phase2(std::vector<VertexId> u) {
 
   // Communication uses all of G* = G{U}; its diameter bounds the O(D) terms
   // for every sparse-cut call in this phase (paper, end of §2).
-  const LiveSubgraph entry = live_subgraph(*g, removed, VertexSet(u));
+  const LiveSubgraph entry = live_subgraph(*g, local_removed, VertexSet(u));
   const std::uint32_t diameter = diameter_double_sweep(entry.graph);
 
   int level = 1;
@@ -180,22 +307,23 @@ void Driver::phase2(std::vector<VertexId> u) {
   std::uint64_t ripped_volume = 0;
 
   while (true) {
-    if (uprime.empty()) return;
-    const LiveSubgraph live = live_subgraph(*g, removed, VertexSet(uprime));
+    if (uprime.empty()) return res;
+    const LiveSubgraph live =
+        live_subgraph(*g, local_removed, VertexSet(uprime));
     if (live.graph.volume() == 0 || uprime.size() == 1) {
-      finalize(std::move(uprime));
-      return;
+      res.finals.push_back(std::move(uprime));
+      return res;
     }
-    ++out->sparse_cut_calls;
-    const auto res = sparsecut::nearly_most_balanced_sparse_cut(
+    ++res.sparse_cut_calls;
+    const auto cut_res = sparsecut::nearly_most_balanced_sparse_cut(
         live.graph, schedule.phi[static_cast<std::size_t>(level)], prm.preset,
-        *rng, *ledger, diameter, prm.thorough_partition);
-    if (!res.found()) {
-      finalize(std::move(uprime));
-      return;
+        item.rng, lg, diameter, prm.thorough_partition);
+    if (!cut_res.found()) {
+      res.finals.push_back(std::move(uprime));
+      return res;
     }
 
-    const std::uint64_t vol_c = volume(live.graph, res.cut);
+    const std::uint64_t vol_c = volume(live.graph, cut_res.cut);
     const double m_level = m1 / std::pow(tau, level - 1);
     if (static_cast<double>(vol_c) <= m_level / (2.0 * tau)) {
       ++level;
@@ -203,40 +331,40 @@ void Driver::phase2(std::vector<VertexId> u) {
       if (level > prm.k) {
         // Impossible with the paper identity m_k/(2τ) = 1/2 < Vol(C);
         // practical guard only.
-        finalize(std::move(uprime));
-        return;
+        res.finals.push_back(std::move(uprime));
+        return res;
       }
       continue;
     }
 
     if (++level_iterations > level_budget) {
-      finalize(std::move(uprime));  // practical guard; see level_budget
-      return;
+      res.finals.push_back(std::move(uprime));  // practical guard
+      return res;
     }
     if (static_cast<double>(ripped_volume + vol_c) > m1) {
-      finalize(std::move(uprime));  // Lemma 2 hard stop (practical guard)
-      return;
+      res.finals.push_back(std::move(uprime));  // Lemma 2 hard stop
+      return res;
     }
     ripped_volume += vol_c;
 
     // Remove-3: every edge incident to C goes; C's vertices become
     // singleton components.
-    const auto in_cut = res.cut.bitmap(live.graph.num_vertices());
+    const auto in_cut = cut_res.cut.bitmap(live.graph.num_vertices());
     for (EdgeId e = 0; e < live.graph.num_edges(); ++e) {
       const auto [x, y] = live.graph.edge(e);
       if (x == y) continue;
       if (in_cut[x] || in_cut[y]) {
         const EdgeId parent = live.edge_to_parent[e];
         XD_CHECK(parent != LiveSubgraph::kNoEdge);
-        mark_removed(parent, RemoveReason::kRipOut);
+        rip(parent);
       }
     }
     std::vector<VertexId> rest;
     for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
       const VertexId pv = live.to_parent[lv];
       if (in_cut[lv]) {
-        ++out->singleton_components;
-        finalize({pv});
+        ++res.singletons;
+        res.finals.push_back({pv});
       } else {
         rest.push_back(pv);
       }
@@ -264,7 +392,6 @@ DecompositionResult expander_decomposition(const Graph& g,
   driver.g = &g;
   driver.prm = prm;
   driver.schedule = out.schedule;
-  driver.rng = &rng;
   driver.ledger = &ledger;
   driver.removed.assign(g.num_edges(), 0);
   driver.out = &out;
@@ -274,12 +401,15 @@ DecompositionResult expander_decomposition(const Graph& g,
   std::vector<VertexId> start;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (g.degree(v) == 0) {
-      driver.finalize({v});
+      driver.finals.push_back({v});
     } else {
       start.push_back(v);
     }
   }
-  if (!start.empty()) driver.phase1(std::move(start), 0);
+  // One draw seeds the driver's item streams, so back-to-back calls on the
+  // same caller Rng (e.g. the triangle recursion's levels) diverge.
+  const Rng top_rng(rng());
+  if (!start.empty()) driver.run(std::move(start), top_rng);
 
   out.removed_edge = driver.removed;
   out.rounds = ledger.rounds() - rounds_before;

@@ -55,6 +55,9 @@ struct DecompositionResult {
   std::uint64_t singleton_components = 0; ///< vertices ripped out by Remove-3
   std::uint64_t sparse_cut_calls = 0;
   std::uint64_t rounds = 0;
+  /// Scheduler epochs executed (batches of concurrent work items); with
+  /// scheduler_threads >= 1 the round total is a sum of per-epoch maxima.
+  std::uint64_t epochs = 0;
 
   [[nodiscard]] std::uint64_t total_removed() const {
     return removed_by[0] + removed_by[1] + removed_by[2];
@@ -62,6 +65,14 @@ struct DecompositionResult {
 };
 
 /// Runs the two-phase decomposition on g, charging `ledger`.
+///
+/// Execution is epoch-batched: every work item (Phase 1 LDD, per-component
+/// sparse cut, Phase 2 level loop) belonging to one recursion level forms a
+/// batch, and prm.scheduler_threads picks how the batch runs -- sequential
+/// with summed rounds (0) or concurrent on forked ledger branches joined by
+/// max (>= 1; scheduler.hpp, docs/rounds.md).  Each item draws from its own
+/// seed-split Rng, so the partition, removed_edge overlay, and removed_by
+/// counts are bit-identical for every scheduler setting and thread count.
 DecompositionResult expander_decomposition(const Graph& g,
                                            const DecompositionParams& prm,
                                            Rng& rng,

@@ -41,6 +41,14 @@ struct DecompositionParams {
   /// where splitting aggressiveness matters more than the worst-case edge
   /// budget, set this to the conductance scale you want separated.
   double phi0_override = 0.0;
+  /// Concurrent component scheduler (scheduler.hpp).  0 = sequential
+  /// driver: components run one after another and their rounds SUM (the
+  /// classic accounting).  >= 1 = epoch scheduler with that many host
+  /// threads: each recursion level's components run concurrently on forked
+  /// ledger branches joined by MAX (the model the paper's round bounds
+  /// assume; docs/rounds.md).  Outputs are bit-identical across all
+  /// settings; only round totals and wall-clock change.
+  int scheduler_threads = 0;
 };
 
 /// Fully-derived schedule.

@@ -2,7 +2,7 @@
 
 /// \file generators.hpp
 /// Graph families used throughout the tests and benches.  Each family maps
-/// onto a workload from the experiment index in DESIGN.md:
+/// onto a workload of the experiment tables in bench/ (E1..E5):
 ///  * G(n, p) with p = 1/2 is the triangle-enumeration lower-bound family;
 ///  * random regular graphs are the expanders (conductance Ω(1) w.h.p.);
 ///  * dumbbells / planted partitions provide cuts of known conductance and

@@ -13,7 +13,8 @@
 ///
 /// The data computation here is centralized (per-vertex capped BFS --
 /// exactly the information the distributed phases accumulate) and the
-/// stated round costs are charged to the ledger; see DESIGN.md §2.
+/// stated round costs are charged to the ledger; see docs/rounds.md for
+/// the charging rules such orchestrated cost models follow.
 
 #include <cstdint>
 #include <vector>

@@ -12,7 +12,7 @@
 ///
 /// This backend charges those formulas with a measured τ_mix and validates /
 /// delivers the demands logically (the fully simulated TreeRouter
-/// cross-checks the model; see DESIGN.md §2, substitution list).
+/// cross-checks the model; see docs/rounds.md on charged cost models).
 
 #include "congest/ledger.hpp"
 #include "routing/router.hpp"

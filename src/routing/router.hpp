@@ -14,7 +14,8 @@
 ///                   (hierarchy + portals; GKS Lemmas 3.2, 3.3), β = m^{1/k}
 ///   per query:      (log n)^{O(k)} · τ_mix        (GKS Lemma 3.4)
 ///
-/// Two backends (DESIGN.md §2 documents the substitution):
+/// Two backends (docs/rounds.md documents the charged-model-vs-simulated
+/// substitution):
 ///   * HierarchicalRouter -- charges those formulas with measured τ_mix and
 ///     validates/delivers demands logically: reproduces the exact trade-off
 ///     curve of the paper (experiment E5);

@@ -26,7 +26,7 @@
 namespace xd::sparsecut {
 
 /// Output of one Nibble-family run, plus the cost observables the round
-/// ledger charges from (DESIGN.md §2).
+/// ledger charges from (docs/rounds.md).
 struct NibbleResult {
   /// The cut C = π̃_t(1..j); empty when no (t, j) passed.
   VertexSet cut;

@@ -16,12 +16,12 @@
 ///   g(φ, Vol) = ⌈10 w · 56 ℓ (t₀+1) t₀ ln(|E| e⁴) φ⁻¹⌉
 ///   s = 4 g(φ, Vol) ⌈log_{7/4}(1/p)⌉                        (iterations)
 ///
-/// Two presets (DESIGN.md §2): `paper()` -- the literal constants, used to
-/// unit-test the formulas and for strict-mode runs on tiny inputs; and
+/// Two presets (docs/rounds.md): `paper()` -- the literal constants, used
+/// to unit-test the formulas and for strict-mode runs on tiny inputs; and
 /// `practical()` -- the same functional shapes with small leading constants
 /// so the stack runs at bench scale.  The paper itself stresses that its
 /// polylog factors are enormous; practical mode is how every experiment
-/// executes, and EXPERIMENTS.md reports shapes, not absolute constants.
+/// executes, and the bench tables report shapes, not absolute constants.
 
 #include <cstdint>
 

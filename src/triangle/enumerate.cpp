@@ -6,6 +6,7 @@
 #include <set>
 
 #include "congest/network.hpp"
+#include "congest/scheduler.hpp"
 #include "expander/decomposition.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
@@ -74,6 +75,7 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
     dprm.epsilon = prm.epsilon;
     dprm.k = prm.k;
     dprm.phi0_override = prm.phi0_override;
+    dprm.scheduler_threads = prm.scheduler_threads;
     const auto decomp = expander_decomposition(sub.graph, dprm, rng, ledger);
 
     // Per-level random group assignment over ambient vertex ids.
@@ -112,9 +114,26 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
       }
     }
 
+    // Collect the level's non-trivial clusters into one scheduler epoch.
+    // Every item reads only level-shared immutable state (sub, decomp,
+    // groups, cluster_edges) plus its own pre-split Rng, so results are
+    // bit-identical whether the epoch runs sequentially or on any number
+    // of host threads; outputs merge in cluster order below.
+    std::vector<std::uint32_t> todo;
     for (std::uint32_t c = 0; c < decomp.num_components; ++c) {
-      if (cluster_edges[c].empty() || members[c].empty()) continue;
-      ++out.clusters_processed;
+      if (!cluster_edges[c].empty() && !members[c].empty()) todo.push_back(c);
+    }
+    struct ClusterOut {
+      std::vector<Triangle> tris;
+      std::uint64_t queries = 0;
+    };
+    std::vector<Rng> item_rngs;
+    item_rngs.reserve(todo.size());
+    for (const std::uint32_t c : todo) item_rngs.push_back(rng.fork(c));
+
+    const auto run_cluster = [&](std::uint32_t c, Rng& crng,
+                                 congest::RoundLedger& lg) {
+      ClusterOut res;
 
       // Cluster subgraph over ambient ids for the router.
       std::vector<VertexId> ambient_members;
@@ -132,40 +151,61 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
         to_local[ambient_members[i]] = static_cast<VertexId>(i);
       }
 
-      std::vector<Triangle> tris;
       if (cluster_sub.graph.num_nonloop_edges() == 0 ||
           ambient_members.size() == 1) {
         // Single vertex or edgeless cluster: its E_i edges all touch one
         // vertex, which can join them locally (deg(v) messages over its
         // own edges -- absorbed into one query charge).
-        ledger.charge(1, "Triangle/tiny-cluster");
+        lg.charge(1, "Triangle/tiny-cluster");
         std::unique_ptr<routing::Router> no_router;
         // Local join without routing.
         routing::HierarchicalParams hp;
         hp.depth = prm.router_depth;
         hp.tau_mix = 1;
-        routing::HierarchicalRouter local(cluster_sub.graph, ledger, hp);
+        routing::HierarchicalRouter local(cluster_sub.graph, lg, hp);
         local.preprocess();
-        tris = enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
-                                 p_global, local, to_local, ambient_members);
-        out.router_queries += local.queries();
+        res.tris =
+            enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
+                              p_global, local, to_local, ambient_members);
+        res.queries = local.queries();
       } else if (prm.hierarchical_router) {
         routing::HierarchicalParams hp;
         hp.depth = prm.router_depth;
-        routing::HierarchicalRouter router(cluster_sub.graph, ledger, hp);
+        routing::HierarchicalRouter router(cluster_sub.graph, lg, hp);
         router.preprocess();
-        tris = enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
-                                 p_global, router, to_local, ambient_members);
-        out.router_queries += router.queries();
+        res.tris =
+            enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
+                              p_global, router, to_local, ambient_members);
+        res.queries = router.queries();
       } else {
-        congest::Network cluster_net(cluster_sub.graph, ledger, rng());
+        congest::Network cluster_net(cluster_sub.graph, lg, crng());
         routing::TreeRouter router(cluster_net);
         router.preprocess();
-        tris = enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
-                                 p_global, router, to_local, ambient_members);
-        out.router_queries += router.queries();
+        res.tris =
+            enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
+                              p_global, router, to_local, ambient_members);
+        res.queries = router.queries();
       }
-      found.insert(tris.begin(), tris.end());
+      return res;
+    };
+
+    std::vector<ClusterOut> cluster_out(todo.size());
+    if (prm.scheduler_threads >= 1) {
+      // Concurrent clusters share the clock: forked branches join by max.
+      const congest::EpochScheduler pool(prm.scheduler_threads);
+      pool.run_forked(ledger, todo.size(),
+                      [&](std::size_t i, congest::RoundLedger& lg) {
+                        cluster_out[i] = run_cluster(todo[i], item_rngs[i], lg);
+                      });
+    } else {
+      for (std::size_t i = 0; i < todo.size(); ++i) {
+        cluster_out[i] = run_cluster(todo[i], item_rngs[i], ledger);
+      }
+    }
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      ++out.clusters_processed;
+      out.router_queries += cluster_out[i].queries;
+      found.insert(cluster_out[i].tris.begin(), cluster_out[i].tris.end());
     }
 
     // --- 4. Recurse on E*. ---

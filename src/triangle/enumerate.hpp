@@ -39,6 +39,14 @@ struct EnumParams {
   int router_depth = 2;
   /// Safety cap on E* recursion levels.
   int max_levels = 40;
+  /// Concurrent cluster scheduler (scheduler.hpp), forwarded to the
+  /// per-level expander decomposition as well.  0 = sequential: clusters
+  /// run one after another and their rounds SUM.  >= 1 = the level's
+  /// clusters run concurrently on that many host threads with forked
+  /// ledger branches joined by MAX (the one-network composition Theorem 2
+  /// charges; docs/rounds.md).  The triangle list is bit-identical across
+  /// all settings.
+  int scheduler_threads = 0;
 };
 
 /// Result of the CONGEST enumeration.

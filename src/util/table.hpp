@@ -2,8 +2,8 @@
 
 /// \file table.hpp
 /// ASCII table rendering.  Every experiment bench prints the rows/series the
-/// paper's theorems predict through this formatter so EXPERIMENTS.md and the
-/// bench output stay visually comparable.
+/// paper's theorems predict through this formatter so successive bench runs
+/// stay visually comparable.
 
 #include <cstdint>
 #include <string>

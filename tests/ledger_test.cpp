@@ -1,0 +1,151 @@
+// RoundLedger unit coverage: the classic sum accounting, and the fork/join
+// concurrency semantics (docs/rounds.md) -- join charges the MAX of branch
+// round totals, SUMS branch messages, and advances each label by its
+// parallel critical depth (per-label max across branches).
+
+#include "congest/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xd::congest {
+namespace {
+
+TEST(Ledger, ChargeSumsAndTracksLabels) {
+  RoundLedger l;
+  l.charge(3, "a");
+  l.charge(4, "b");
+  l.charge(5, "a");
+  l.count_messages(7);
+  EXPECT_EQ(l.rounds(), 12u);
+  EXPECT_EQ(l.messages(), 7u);
+  EXPECT_EQ(l.rounds_for("a"), 8u);
+  EXPECT_EQ(l.rounds_for("b"), 4u);
+  EXPECT_EQ(l.rounds_for("missing"), 0u);
+}
+
+TEST(Ledger, JoinChargesMaxRoundsAndSumsMessages) {
+  RoundLedger l;
+  l.charge(10, "setup");
+  RoundLedger& b1 = l.fork();
+  RoundLedger& b2 = l.fork();
+  RoundLedger& b3 = l.fork();
+  EXPECT_EQ(l.forked(), 3u);
+  b1.charge(5, "work");
+  b1.count_messages(100);
+  b2.charge(17, "work");
+  b2.count_messages(30);
+  b3.charge(2, "other");
+  b3.count_messages(1);
+  // Branch charges are invisible until the join barrier.
+  EXPECT_EQ(l.rounds(), 10u);
+  l.join();
+  EXPECT_EQ(l.forked(), 0u);
+  EXPECT_EQ(l.rounds(), 10u + 17u);         // max(5, 17, 2)
+  EXPECT_EQ(l.messages(), 100u + 30u + 1u);  // sum
+}
+
+TEST(Ledger, JoinBreakdownIsPerLabelParallelDepth) {
+  RoundLedger l;
+  RoundLedger& b1 = l.fork();
+  RoundLedger& b2 = l.fork();
+  b1.charge(5, "ldd");
+  b1.charge(1, "cut");
+  b2.charge(2, "ldd");
+  b2.charge(9, "cut");
+  l.join();
+  // Totals: max(6, 11) = 11; labels: max per label across branches.
+  EXPECT_EQ(l.rounds(), 11u);
+  EXPECT_EQ(l.rounds_for("ldd"), 5u);
+  EXPECT_EQ(l.rounds_for("cut"), 9u);
+  // Per-label entries may sum past rounds() after a join -- each is its
+  // label's critical depth, not a partition of the clock.
+  EXPECT_GE(l.rounds_for("ldd") + l.rounds_for("cut"), l.rounds());
+}
+
+TEST(Ledger, NestedForkJoinResolvesBottomUp) {
+  RoundLedger l;
+  RoundLedger& child = l.fork();
+  RoundLedger& g1 = child.fork();
+  RoundLedger& g2 = child.fork();
+  g1.charge(4, "deep");
+  g2.charge(6, "deep");
+  child.charge(3, "mid");
+  RoundLedger& sibling = l.fork();
+  sibling.charge(7, "mid");
+  // join() on the parent first joins each child's outstanding forks:
+  // child = 3 + max(4, 6) = 9; parent = max(9, 7) = 9.
+  l.join();
+  EXPECT_EQ(l.rounds(), 9u);
+  EXPECT_EQ(l.rounds_for("mid"), 7u);   // max(3, 7)
+  EXPECT_EQ(l.rounds_for("deep"), 6u);  // max(6 via child, 0 via sibling)
+}
+
+TEST(Ledger, JoinWithoutForksIsNoOp) {
+  RoundLedger l;
+  l.charge(5, "x");
+  l.join();
+  EXPECT_EQ(l.rounds(), 5u);
+  EXPECT_EQ(l.rounds_for("x"), 5u);
+}
+
+TEST(Ledger, ResetClearsForkedChildren) {
+  RoundLedger l;
+  l.charge(5, "x");
+  RoundLedger& b = l.fork();
+  b.charge(100, "y");
+  ASSERT_EQ(l.forked(), 1u);
+  l.reset();
+  EXPECT_EQ(l.forked(), 0u);
+  EXPECT_EQ(l.rounds(), 0u);
+  EXPECT_EQ(l.messages(), 0u);
+  EXPECT_TRUE(l.breakdown().empty());
+  // A discarded branch can never leak into a later join.
+  RoundLedger& fresh = l.fork();
+  fresh.charge(2, "z");
+  l.join();
+  EXPECT_EQ(l.rounds(), 2u);
+  EXPECT_EQ(l.rounds_for("y"), 0u);
+}
+
+TEST(Ledger, ReportIsDeterministicAndSorted) {
+  RoundLedger l;
+  l.charge(1, "zeta");
+  l.charge(2, "alpha");
+  l.charge(3, "mid");
+  l.count_messages(4);
+  const std::string r1 = l.report();
+  const std::string r2 = l.report();
+  EXPECT_EQ(r1, r2);
+  // Labels appear in sorted order.
+  const auto pos_alpha = r1.find("alpha");
+  const auto pos_mid = r1.find("mid");
+  const auto pos_zeta = r1.find("zeta");
+  ASSERT_NE(pos_alpha, std::string::npos);
+  ASSERT_NE(pos_mid, std::string::npos);
+  ASSERT_NE(pos_zeta, std::string::npos);
+  EXPECT_LT(pos_alpha, pos_mid);
+  EXPECT_LT(pos_mid, pos_zeta);
+
+  // Identical charge histories in different orders produce equal reports.
+  RoundLedger l2;
+  l2.count_messages(4);
+  l2.charge(3, "mid");
+  l2.charge(1, "zeta");
+  l2.charge(2, "alpha");
+  EXPECT_EQ(l.report(), l2.report());
+}
+
+TEST(Ledger, ForkedBranchAddressesAreStable) {
+  RoundLedger l;
+  RoundLedger& first = l.fork();
+  first.charge(1, "a");
+  // Growing the children list must not invalidate earlier branches (the
+  // scheduler forks the whole epoch before any worker runs).
+  for (int i = 0; i < 100; ++i) l.fork();
+  first.charge(1, "a");
+  l.join();
+  EXPECT_EQ(l.rounds(), 2u);
+}
+
+}  // namespace
+}  // namespace xd::congest
