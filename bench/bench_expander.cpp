@@ -8,10 +8,16 @@
 //   E3c  ε sweep on one graph: cut fraction tracks the budget;
 //   E3d  the concurrent component scheduler: sequential (rounds SUM over
 //        components) vs epoch scheduler (rounds MAX per level) at 1/2/8
-//        host threads -- simulated rounds and wall-clock.
+//        host threads -- simulated rounds and wall-clock;
+//   E3e  zero-copy GraphView overlays vs materialized live_subgraph: the
+//        per-work-item subgraph cost (construction and construction +
+//        double-sweep traversal), CSR builds counted via the
+//        GraphBuilder::total_builds hook, plus the end-to-end build count
+//        of a whole decomposition (0 on the view-only practical path).
 //
-// With --json FILE, the E3d comparison is also written as JSON (the
-// BENCH_expander.json trajectory emitted by bench/run_all.sh).
+// With --json FILE, the E3d comparison and the E3e view-overlay numbers are
+// also written as JSON (the BENCH_expander.json trajectory emitted by
+// bench/run_all.sh).
 
 #include <chrono>
 #include <cmath>
@@ -181,6 +187,19 @@ int main(int argc, char** argv) {
   // ledgers join by max); threads shape wall-clock only, so the speedup
   // column reports whatever the host's cores give (≈1 or below on a
   // single-core CI box, where spawning buys nothing).
+  struct SchedPoint {
+    int threads;
+    std::uint64_t rounds;
+    double ms;
+  };
+  struct E3dStats {
+    std::size_t n = 0, m = 0;
+    std::uint64_t seq_rounds = 0;
+    std::uint64_t seq_builds = 0;
+    double seq_ms = 0.0;
+    std::vector<SchedPoint> points;
+  } e3d_stats;
+
   Table e3d("E3d: concurrent component scheduler (dumbbell(240,240), "
             "k = 2, phi0 = 0.02)",
             {"mode", "host threads", "rounds", "epochs", "wall ms",
@@ -205,16 +224,13 @@ int main(int argc, char** argv) {
 
     double seq_ms = 0.0;
     congest::RoundLedger seq_ledger;
+    const std::uint64_t builds_before = GraphBuilder::total_builds();
     const auto seq = timed_run(0, seq_ms, seq_ledger);
+    e3d_stats.seq_builds = GraphBuilder::total_builds() - builds_before;
     e3d.add_row({"sequential", Table::cell(1), Table::cell(seq.rounds),
                  Table::cell(seq.epochs), Table::cell(seq_ms, 1),
                  Table::cell(1.0, 2), Table::cell(1.0, 2)});
 
-    struct SchedPoint {
-      int threads;
-      std::uint64_t rounds;
-      double ms;
-    };
     std::vector<SchedPoint> points;
     for (const int threads : {1, 2, 8}) {
       double ms = 0.0;
@@ -232,27 +248,137 @@ int main(int argc, char** argv) {
     }
     e3d.print();
 
-    if (!json_path.empty()) {
-      std::ofstream os(json_path);
-      os << "{\n  \"graph\": \"dumbbell_expanders(240,240,4,2)\",\n"
-         << "  \"n\": " << g.num_vertices() << ",\n"
-         << "  \"m\": " << g.num_edges() << ",\n"
-         << "  \"sequential\": {\"rounds\": " << seq.rounds
-         << ", \"wall_ms\": " << seq_ms << "},\n"
-         << "  \"scheduler\": [\n";
-      for (std::size_t i = 0; i < points.size(); ++i) {
-        os << "    {\"threads\": " << points[i].threads
-           << ", \"rounds\": " << points[i].rounds
-           << ", \"wall_ms\": " << points[i].ms << "}"
-           << (i + 1 < points.size() ? "," : "") << "\n";
-      }
-      os << "  ],\n"
-         << "  \"round_reduction\": "
-         << (static_cast<double>(seq.rounds) /
-             static_cast<double>(points.front().rounds))
-         << ",\n  \"outputs_bit_identical\": true\n}\n";
-      std::cerr << "wrote " << json_path << "\n";
+    e3d_stats.n = g.num_vertices();
+    e3d_stats.m = g.num_edges();
+    e3d_stats.seq_rounds = seq.rounds;
+    e3d_stats.seq_ms = seq_ms;
+    e3d_stats.points = std::move(points);
+  }
+
+  // E3e: the zero-copy overlay vs the per-level CSR rebuild it replaced.
+  // One work item's G{U} on a removed-edge overlay, (a) constructed only and
+  // (b) constructed + double-sweep traversed, view vs materialized; CSR
+  // builds are counted through the GraphBuilder::total_builds test hook.
+  Table e3e("E3e: zero-copy GraphView vs materialized live_subgraph "
+            "(regular(4096,8), 5% removed overlay, |U| = 0.6n)",
+            {"op", "reps", "wall ms", "ms/op", "CSR builds"});
+  struct E3eStats {
+    double mat_ms = 0.0, view_ms = 0.0;
+    double mat_sweep_ms = 0.0, view_sweep_ms = 0.0;
+    std::uint64_t mat_builds = 0, view_builds = 0;
+    int reps = 0;
+  } e3e_stats;
+  {
+    Rng rg = master.fork(51);
+    const Graph g = gen::random_regular(4096, 8, rg);
+    std::vector<char> removed(g.num_edges(), 0);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (!g.is_loop(e) && rg.next_bool(0.05)) removed[e] = 1;
     }
+    std::vector<VertexId> ids;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (rg.next_bool(0.6)) ids.push_back(v);
+    }
+    const VertexSet u(std::move(ids));
+    const int reps = 200;
+    e3e_stats.reps = reps;
+
+    // Keep the compared work honest: both sides must agree on the measured
+    // diameter (the work item's first real consumer of the subgraph).
+    const std::uint32_t d_view =
+        diameter_double_sweep(GraphView(g, &removed, u));
+    const std::uint32_t d_mat =
+        diameter_double_sweep(live_subgraph(g, removed, u).graph);
+    XD_CHECK_MSG(d_view == d_mat, "view/materialized diameter diverged");
+
+    const auto timed = [&](auto&& body, std::uint64_t& builds) {
+      const std::uint64_t before = GraphBuilder::total_builds();
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) body();
+      const double ms = elapsed_ms(start);
+      builds = GraphBuilder::total_builds() - before;
+      return ms;
+    };
+
+    std::uint64_t sink = 0;
+    std::uint64_t builds = 0;
+    e3e_stats.mat_ms = timed(
+        [&] { sink += live_subgraph(g, removed, u).graph.volume(); }, builds);
+    e3e_stats.mat_builds = builds;
+    e3e.add_row({"materialize", Table::cell(reps),
+                 Table::cell(e3e_stats.mat_ms, 1),
+                 Table::cell(e3e_stats.mat_ms / reps, 4),
+                 Table::cell(e3e_stats.mat_builds)});
+
+    e3e_stats.view_ms =
+        timed([&] { sink += GraphView(g, &removed, u).volume(); }, builds);
+    e3e_stats.view_builds = builds;
+    e3e.add_row({"view", Table::cell(reps), Table::cell(e3e_stats.view_ms, 1),
+                 Table::cell(e3e_stats.view_ms / reps, 4),
+                 Table::cell(e3e_stats.view_builds)});
+
+    e3e_stats.mat_sweep_ms = timed(
+        [&] {
+          sink += diameter_double_sweep(live_subgraph(g, removed, u).graph);
+        },
+        builds);
+    e3e.add_row({"materialize+sweep", Table::cell(reps),
+                 Table::cell(e3e_stats.mat_sweep_ms, 1),
+                 Table::cell(e3e_stats.mat_sweep_ms / reps, 4),
+                 Table::cell(builds)});
+
+    e3e_stats.view_sweep_ms = timed(
+        [&] { sink += diameter_double_sweep(GraphView(g, &removed, u)); },
+        builds);
+    e3e.add_row({"view+sweep", Table::cell(reps),
+                 Table::cell(e3e_stats.view_sweep_ms, 1),
+                 Table::cell(e3e_stats.view_sweep_ms / reps, 4),
+                 Table::cell(builds)});
+    e3e.print();
+    XD_CHECK(sink != 0);  // keep the measured work observable
+    std::cout << "construction speedup (materialize/view): "
+              << e3e_stats.mat_ms / e3e_stats.view_ms
+              << "x   with traversal: "
+              << e3e_stats.mat_sweep_ms / e3e_stats.view_sweep_ms
+              << "x   decomposition CSR builds (E3d sequential run): "
+              << e3d_stats.seq_builds << "\n\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    os << "{\n  \"graph\": \"dumbbell_expanders(240,240,4,2)\",\n"
+       << "  \"n\": " << e3d_stats.n << ",\n"
+       << "  \"m\": " << e3d_stats.m << ",\n"
+       << "  \"sequential\": {\"rounds\": " << e3d_stats.seq_rounds
+       << ", \"wall_ms\": " << e3d_stats.seq_ms
+       << ", \"csr_builds\": " << e3d_stats.seq_builds << "},\n"
+       << "  \"scheduler\": [\n";
+    for (std::size_t i = 0; i < e3d_stats.points.size(); ++i) {
+      os << "    {\"threads\": " << e3d_stats.points[i].threads
+         << ", \"rounds\": " << e3d_stats.points[i].rounds
+         << ", \"wall_ms\": " << e3d_stats.points[i].ms << "}"
+         << (i + 1 < e3d_stats.points.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"round_reduction\": "
+       << (static_cast<double>(e3d_stats.seq_rounds) /
+           static_cast<double>(e3d_stats.points.front().rounds))
+       << ",\n  \"outputs_bit_identical\": true,\n"
+       << "  \"view_overlay\": {\n"
+       << "    \"graph\": \"random_regular(4096,8) + 5% removed, |U|=0.6n\",\n"
+       << "    \"reps\": " << e3e_stats.reps << ",\n"
+       << "    \"materialize_ms\": " << e3e_stats.mat_ms << ",\n"
+       << "    \"view_ms\": " << e3e_stats.view_ms << ",\n"
+       << "    \"construction_speedup\": "
+       << e3e_stats.mat_ms / e3e_stats.view_ms << ",\n"
+       << "    \"materialize_sweep_ms\": " << e3e_stats.mat_sweep_ms << ",\n"
+       << "    \"view_sweep_ms\": " << e3e_stats.view_sweep_ms << ",\n"
+       << "    \"sweep_speedup\": "
+       << e3e_stats.mat_sweep_ms / e3e_stats.view_sweep_ms << ",\n"
+       << "    \"materialize_csr_builds\": " << e3e_stats.mat_builds << ",\n"
+       << "    \"view_csr_builds\": " << e3e_stats.view_builds << "\n"
+       << "  }\n}\n";
+    std::cerr << "wrote " << json_path << "\n";
   }
   return 0;
 }

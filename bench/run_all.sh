@@ -42,10 +42,12 @@ json_escape() {
   python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'
 }
 
+MISSING=()
 for name in "${NAMES[@]}"; do
   bin="$BUILD_DIR/$name"
   if [[ ! -x "$bin" ]]; then
-    echo "skip $name (not built)" >&2
+    echo "error: $name is not built at $bin" >&2
+    MISSING+=("$name")
     continue
   fi
   out="$OUT_DIR/BENCH_${name#bench_}.json"
@@ -64,6 +66,14 @@ for name in "${NAMES[@]}"; do
       "$(printf '%s' "$stdout" | json_escape)" > "$out"
   fi
 done
+
+# A silently skipped bench leaves a stale BENCH_*.json that reads as a real
+# trajectory point; fail loudly instead so CI (and humans) notice.
+if [[ ${#MISSING[@]} -gt 0 ]]; then
+  echo "error: missing bench binaries: ${MISSING[*]}" >&2
+  echo "build them first (cmake --build \"$BUILD_DIR\" -j) or name only built benches" >&2
+  exit 1
+fi
 
 # Delivery acceptance summary: flat engine vs seed nested path at 100k.
 KERNEL_JSON="$OUT_DIR/BENCH_kernel.json"

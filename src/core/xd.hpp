@@ -39,8 +39,10 @@
 #include "expander/decomposition.hpp"
 #include "expander/params.hpp"
 #include "expander/verify.hpp"
+#include "graph/access.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "congest/network.hpp"
 #include "congest/scheduler.hpp"
+#include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "ldd/ldd.hpp"
@@ -156,40 +158,49 @@ ItemResult Driver::run_ldd(WorkItem& item, congest::RoundLedger& lg) const {
   // Practical preset skips the call when the part's measured diameter
   // already meets the O(log²n/β²) bound LDD guarantees -- the LDD is then
   // a no-op by its own contract (it may legally cut nothing), and the
-  // 2 ln n / β MPX epochs are saved.  Paper mode always runs it.
-  const LiveSubgraph live = live_subgraph(*g, removed, VertexSet(u));
+  // 2 ln n / β MPX epochs are saved.  Paper mode always runs it, so only
+  // the practical probe pays for the zero-copy overlay (whose construction
+  // scan nothing in the materialized path would read).
   const double logn = std::log(std::max<double>(g->num_vertices(), 2));
   const double ldd_diameter_bound =
       150.0 * logn * logn / (schedule.beta * schedule.beta);
+  std::optional<GraphView> live;
+  if (prm.preset != Preset::kPaper) {
+    live.emplace(*g, &removed, VertexSet(u));
+  }
   const bool run_ldd_call =
-      prm.preset == Preset::kPaper ||
-      static_cast<double>(diameter_double_sweep(live.graph)) >
-          ldd_diameter_bound;
+      !live ||
+      static_cast<double>(diameter_double_sweep(*live)) > ldd_diameter_bound;
 
   std::vector<std::vector<VertexId>> comps;
   if (run_ldd_call) {
+    // The CONGEST kernel wants a dense renumbering (per-vertex inbox
+    // arrays, slot-keyed congestion): the one place Phase 1 still pays for
+    // a materialized G{U}.
+    const LiveSubgraph mat =
+        live ? live->materialize() : live_subgraph(*g, removed, VertexSet(u));
     ldd::LddParams ldd_prm;
     ldd_prm.beta = schedule.beta;
     ldd_prm.K = prm.ldd_K;
-    congest::Network net(live.graph, lg, item.rng());
+    congest::Network net(mat.graph, lg, item.rng());
     const ldd::LddResult ldd_res =
         ldd::low_diameter_decomposition(net, ldd_prm, item.rng);
-    for (EdgeId e = 0; e < live.graph.num_edges(); ++e) {
+    for (EdgeId e = 0; e < mat.graph.num_edges(); ++e) {
       if (ldd_res.cut_edge[e]) {
-        const EdgeId parent = live.edge_to_parent[e];
+        const EdgeId parent = mat.edge_to_parent[e];
         XD_CHECK(parent != LiveSubgraph::kNoEdge);
         res.removals.emplace_back(parent, RemoveReason::kLdd);
       }
     }
     comps.resize(ldd_res.num_components);
-    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
-      comps[ldd_res.component[lv]].push_back(live.to_parent[lv]);
+    for (VertexId lv = 0; lv < mat.graph.num_vertices(); ++lv) {
+      comps[ldd_res.component[lv]].push_back(mat.to_parent[lv]);
     }
   } else {
-    auto [comp, count] = connected_components(live.graph);
+    auto [comp, count] = connected_components(*live);
     comps.resize(count);
-    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
-      comps[comp[lv]].push_back(live.to_parent[lv]);
+    for (const VertexId v : live->vertices()) {
+      comps[comp[v]].push_back(v);
     }
   }
 
@@ -216,23 +227,25 @@ ItemResult Driver::run_cut(WorkItem& item, congest::RoundLedger& lg) const {
   ItemResult res;
   res.depth_seen = item.depth;
   std::vector<VertexId>& comp = item.u;
-  const LiveSubgraph comp_live = live_subgraph(*g, removed, VertexSet(comp));
-  if (comp_live.graph.volume() == 0) {
+  // The whole sparse-cut stack (Partition -> ParallelNibble -> Nibble) runs
+  // on the zero-copy overlay; the cut comes back in ambient ids.
+  const GraphView comp_live(*g, &removed, VertexSet(comp));
+  if (comp_live.volume() == 0) {
     res.finals.push_back(std::move(comp));
     return res;
   }
   ++res.sparse_cut_calls;
-  const auto diameter = diameter_double_sweep(comp_live.graph);
+  const auto diameter = diameter_double_sweep(comp_live);
   const auto cut_res = sparsecut::nearly_most_balanced_sparse_cut(
-      comp_live.graph, schedule.phi[0], prm.preset, item.rng, lg, diameter,
+      comp_live, schedule.phi[0], prm.preset, item.rng, lg, diameter,
       prm.thorough_partition);
 
   if (!cut_res.found()) {
     res.finals.push_back(std::move(comp));  // certified: Φ(G{U}) >= φ₀ (whp)
     return res;
   }
-  const std::uint64_t vol_u = comp_live.graph.volume();
-  const std::uint64_t vol_c = volume(comp_live.graph, cut_res.cut);
+  const std::uint64_t vol_u = comp_live.volume();
+  const std::uint64_t vol_c = volume(comp_live, cut_res.cut);
   // Phase-2 entry (Step 2b).  The paper's ε/12 threshold composes with
   // Theorem 3's bal >= min{b/2, 1/48} only when ε <= 1/4; the min keeps
   // the Lemma 2 argument valid for every ε in (0, 1).
@@ -246,20 +259,18 @@ ItemResult Driver::run_cut(WorkItem& item, congest::RoundLedger& lg) const {
     return res;
   }
 
-  // Step 2c: Remove-2 the cut edges, recurse on both sides.
-  const auto in_cut = cut_res.cut.bitmap(comp_live.graph.num_vertices());
-  for (EdgeId e = 0; e < comp_live.graph.num_edges(); ++e) {
-    const auto [x, y] = comp_live.graph.edge(e);
-    if (x == y) continue;
+  // Step 2c: Remove-2 the cut edges, recurse on both sides.  Live-edge
+  // iteration visits surviving edges in the same order a materialized copy
+  // numbers them, so the removal log replays identically.
+  const auto in_cut = cut_res.cut.bitmap(g->num_vertices());
+  comp_live.for_each_live_edge([&](EdgeId ambient, VertexId x, VertexId y) {
     if (in_cut[x] != in_cut[y]) {
-      const EdgeId parent = comp_live.edge_to_parent[e];
-      XD_CHECK(parent != LiveSubgraph::kNoEdge);
-      res.removals.emplace_back(parent, RemoveReason::kSparseCut);
+      res.removals.emplace_back(ambient, RemoveReason::kSparseCut);
     }
-  }
+  });
   std::vector<VertexId> side_c, side_rest;
-  for (VertexId lv = 0; lv < comp_live.graph.num_vertices(); ++lv) {
-    (in_cut[lv] ? side_c : side_rest).push_back(comp_live.to_parent[lv]);
+  for (const VertexId v : comp_live.vertices()) {
+    (in_cut[v] ? side_c : side_rest).push_back(v);
   }
   res.children.push_back(WorkItem{WorkItem::Kind::kLdd, std::move(side_c),
                                   item.depth + 1, item.rng.fork(0)});
@@ -291,8 +302,8 @@ ItemResult Driver::run_phase2(WorkItem& item, congest::RoundLedger& lg) const {
 
   // Communication uses all of G* = G{U}; its diameter bounds the O(D) terms
   // for every sparse-cut call in this phase (paper, end of §2).
-  const LiveSubgraph entry = live_subgraph(*g, local_removed, VertexSet(u));
-  const std::uint32_t diameter = diameter_double_sweep(entry.graph);
+  const std::uint32_t diameter =
+      diameter_double_sweep(GraphView(*g, &local_removed, VertexSet(u)));
 
   int level = 1;
   std::vector<VertexId> uprime = std::move(u);
@@ -308,22 +319,23 @@ ItemResult Driver::run_phase2(WorkItem& item, congest::RoundLedger& lg) const {
 
   while (true) {
     if (uprime.empty()) return res;
-    const LiveSubgraph live =
-        live_subgraph(*g, local_removed, VertexSet(uprime));
-    if (live.graph.volume() == 0 || uprime.size() == 1) {
+    // The per-level G{U'} is the view overlay that used to be the dominant
+    // rebuild cost: one fresh CSR per level iteration, now one O(Vol) scan.
+    const GraphView live(*g, &local_removed, VertexSet(uprime));
+    if (live.volume() == 0 || uprime.size() == 1) {
       res.finals.push_back(std::move(uprime));
       return res;
     }
     ++res.sparse_cut_calls;
     const auto cut_res = sparsecut::nearly_most_balanced_sparse_cut(
-        live.graph, schedule.phi[static_cast<std::size_t>(level)], prm.preset,
+        live, schedule.phi[static_cast<std::size_t>(level)], prm.preset,
         item.rng, lg, diameter, prm.thorough_partition);
     if (!cut_res.found()) {
       res.finals.push_back(std::move(uprime));
       return res;
     }
 
-    const std::uint64_t vol_c = volume(live.graph, cut_res.cut);
+    const std::uint64_t vol_c = volume(live, cut_res.cut);
     const double m_level = m1 / std::pow(tau, level - 1);
     if (static_cast<double>(vol_c) <= m_level / (2.0 * tau)) {
       ++level;
@@ -348,21 +360,18 @@ ItemResult Driver::run_phase2(WorkItem& item, congest::RoundLedger& lg) const {
     ripped_volume += vol_c;
 
     // Remove-3: every edge incident to C goes; C's vertices become
-    // singleton components.
-    const auto in_cut = cut_res.cut.bitmap(live.graph.num_vertices());
-    for (EdgeId e = 0; e < live.graph.num_edges(); ++e) {
-      const auto [x, y] = live.graph.edge(e);
-      if (x == y) continue;
-      if (in_cut[x] || in_cut[y]) {
-        const EdgeId parent = live.edge_to_parent[e];
-        XD_CHECK(parent != LiveSubgraph::kNoEdge);
-        rip(parent);
-      }
-    }
+    // singleton components.  Collect first, then rip: the view reads the
+    // overlay lazily, so mutating it mid-iteration would change what
+    // "live" means for the slots not yet visited.
+    const auto in_cut = cut_res.cut.bitmap(g->num_vertices());
+    std::vector<EdgeId> to_rip;
+    live.for_each_live_edge([&](EdgeId ambient, VertexId x, VertexId y) {
+      if (in_cut[x] || in_cut[y]) to_rip.push_back(ambient);
+    });
+    for (const EdgeId ambient : to_rip) rip(ambient);
     std::vector<VertexId> rest;
-    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
-      const VertexId pv = live.to_parent[lv];
-      if (in_cut[lv]) {
+    for (const VertexId pv : live.vertices()) {
+      if (in_cut[pv]) {
         ++res.singletons;
         res.finals.push_back({pv});
       } else {
@@ -419,22 +428,23 @@ DecompositionResult expander_decomposition(const Graph& g,
   std::uint32_t next_id = 0;
   for (const auto& ids : driver.finals) {
     // A final part can still be disconnected (e.g. the depth guard); split
-    // it so components are genuinely connected in the remaining graph.
-    const LiveSubgraph live = live_subgraph(g, driver.removed, VertexSet(ids));
-    auto [comp, count] = connected_components(live.graph);
+    // it so components are genuinely connected in the remaining graph --
+    // on the view overlay, where removed edges read as loops and are never
+    // traversed.
+    const GraphView live(g, &driver.removed, VertexSet(ids));
+    auto [comp, count] = connected_components(live);
     std::vector<std::uint32_t> local_to_global(count,
                                                static_cast<std::uint32_t>(-1));
-    for (VertexId lv = 0; lv < live.graph.num_vertices(); ++lv) {
-      auto& slot = local_to_global[comp[lv]];
+    for (const VertexId pv : live.vertices()) {
+      auto& slot = local_to_global[comp[pv]];
       if (slot == static_cast<std::uint32_t>(-1)) slot = next_id++;
-      const VertexId pv = live.to_parent[lv];
       XD_CHECK_MSG(out.component[pv] == static_cast<std::uint32_t>(-1),
                    "vertex " << pv << " assigned twice");
       out.component[pv] = slot;
     }
-    if (live.graph.num_vertices() == 0 && !ids.empty()) {
-      // Degenerate: isolated final ids (empty live graph cannot happen for
-      // non-empty ids, but keep the invariant airtight).
+    if (live.num_active() == 0 && !ids.empty()) {
+      // Degenerate: isolated final ids (an empty active set cannot happen
+      // for non-empty ids, but keep the invariant airtight).
       for (VertexId pv : ids) out.component[pv] = next_id++;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "spectral/fiedler.hpp"
@@ -61,17 +62,22 @@ VerificationReport verify_decomposition(const Graph& g,
     const VertexSet ids(std::vector<VertexId>(members[c]));
     q.volume = volume(g, ids);
 
-    const LiveSubgraph live = live_subgraph(g, result.removed_edge, ids);
-    if (q.size <= 1 || live.graph.num_nonloop_edges() == 0) {
+    // The live G{V_i} is a zero-copy view first: the vacuous cases are
+    // decided from its counting scan alone, and only components that need
+    // dense spectral math (or the exhaustive oracle) get materialized.
+    const GraphView view(g, &result.removed_edge, ids);
+    if (q.size <= 1 || view.num_nonloop_edges() == 0) {
       // Singletons (and edgeless parts) expand vacuously.
       q.conductance_lower = std::numeric_limits<double>::infinity();
       q.conductance_upper = std::numeric_limits<double>::infinity();
       q.exact = true;
     } else if (q.size <= 14) {
+      const LiveSubgraph live = view.materialize();
       q.conductance_lower = conductance_exact(live.graph);
       q.conductance_upper = q.conductance_lower;
       q.exact = true;
     } else {
+      const LiveSubgraph live = view.materialize();
       const double lambda2 = spectral::lazy_second_eigenvalue(live.graph);
       q.conductance_lower = std::max(0.0, 1.0 - lambda2);
       const auto sweep = spectral::fiedler_sweep(live.graph);

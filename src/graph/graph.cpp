@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "util/check.hpp"
@@ -17,12 +18,10 @@ std::uint32_t Graph::loops_at(VertexId v) const {
 
 bool Graph::has_edge(VertexId u, VertexId v) const {
   XD_CHECK(u != v);
+  // Search from the lower-degree endpoint's sorted-neighbor index; slot_of
+  // is the one binary-search helper both lookups share.
   const VertexId probe = degree(u) <= degree(v) ? u : v;
-  const VertexId other = probe == u ? v : u;
-  for (VertexId w : neighbors(probe)) {
-    if (w == other) return true;
-  }
-  return false;
+  return slot_of(probe, probe == u ? v : u) != kNoSlot;
 }
 
 std::uint32_t Graph::slot_of(VertexId u, VertexId v, std::uint64_t* probes) const {
@@ -70,7 +69,16 @@ Graph Graph_build_impl(std::size_t n, bool allow_parallel,
                        const std::vector<VertexId>& us,
                        const std::vector<VertexId>& vs);
 
+namespace {
+std::atomic<std::uint64_t> g_total_builds{0};
+}  // namespace
+
+std::uint64_t GraphBuilder::total_builds() {
+  return g_total_builds.load(std::memory_order_relaxed);
+}
+
 Graph GraphBuilder::build() const {
+  g_total_builds.fetch_add(1, std::memory_order_relaxed);
   Graph g;
   const std::size_t m = us_.size();
   g.offsets_.assign(n_ + 1, 0);

@@ -11,6 +11,7 @@
 /// adjacency slot whose neighbor is the vertex itself.
 
 #include <cstdint>
+#include <ranges>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,14 @@ class Graph {
   Graph() = default;
 
   [[nodiscard]] std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// All vertex ids {0, ..., n-1} in ascending order.  This is the
+  /// GraphAccess iteration surface (access.hpp): algorithms loop over
+  /// `vertices()` instead of `[0, num_vertices())` so a GraphView can
+  /// substitute its active subset without renumbering.
+  [[nodiscard]] auto vertices() const {
+    return std::views::iota(VertexId{0}, static_cast<VertexId>(num_vertices()));
+  }
   /// Total undirected edges, self-loops included (the paper's |E|).
   [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
   /// Undirected non-loop edges only.
@@ -103,8 +112,37 @@ class Graph {
   /// slot per degree unit, so this is exactly the slot count.
   [[nodiscard]] std::uint64_t volume() const { return neighbors_.size(); }
 
-  /// True if {u, v} (u != v) is an edge.  O(min degree) scan.
+  /// True if {u, v} (u != v) is an edge.  O(log min degree) binary search
+  /// over the sorted-neighbor index (shares the slot_of helper).
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Visits every non-loop edge exactly once as fn(edge id, u, v) with
+  /// u < v, in (u ascending, slot) order -- the order in which the
+  /// materializing subgraph constructors emit surviving edges, which is what
+  /// lets view-based consumers replay materialized edge processing
+  /// bit-for-bit.  GraphView provides the same hook over its live slots.
+  template <typename Fn>
+  void for_each_live_edge(Fn&& fn) const {
+    for (VertexId u = 0; u < num_vertices(); ++u) {
+      const auto nbrs = neighbors(u);
+      const auto eids = incident_edges(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] > u) fn(eids[i], u, nbrs[i]);
+      }
+    }
+  }
+
+  /// Visits v's non-loop incident edges as fn(edge id, neighbor) in slot
+  /// order.  (A GraphView additionally skips masked slots -- they read as
+  /// self-loops there.)
+  template <typename Fn>
+  void for_each_live_incident(VertexId v, Fn&& fn) const {
+    const auto nbrs = neighbors(v);
+    const auto eids = incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] != v) fn(eids[i], nbrs[i]);
+    }
+  }
 
   /// Maximum degree.
   [[nodiscard]] std::uint32_t max_degree() const;
@@ -148,6 +186,11 @@ class GraphBuilder {
   /// Finalizes into CSR form.  The builder may be reused afterwards (edges
   /// are retained).
   [[nodiscard]] Graph build() const;
+
+  /// Process-wide count of build() calls (thread-safe, monotone).  A test
+  /// hook: paths that promise to stay view-only (no intermediate CSR
+  /// materialization) assert this does not advance across them.
+  [[nodiscard]] static std::uint64_t total_builds();
 
  private:
   std::size_t n_;

@@ -4,28 +4,30 @@
 #include <array>
 #include <deque>
 
+#include "graph/graph_view.hpp"
 #include "util/check.hpp"
 
 namespace xd {
 
-std::uint64_t volume(const Graph& g, const VertexSet& s) {
+template <GraphAccess G>
+std::uint64_t volume(const G& g, const VertexSet& s) {
   std::uint64_t vol = 0;
   for (VertexId v : s) vol += g.degree(v);
   return vol;
 }
 
-std::uint64_t cut_size(const Graph& g, const VertexSet& s) {
+template <GraphAccess G>
+std::uint64_t cut_size(const G& g, const VertexSet& s) {
   const auto mask = s.bitmap(g.num_vertices());
   std::uint64_t cut = 0;
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto [u, v] = g.edge(e);
-    if (u == v) continue;
+  g.for_each_live_edge([&](EdgeId, VertexId u, VertexId v) {
     if (mask[u] != mask[v]) ++cut;
-  }
+  });
   return cut;
 }
 
-double conductance(const Graph& g, const VertexSet& s) {
+template <GraphAccess G>
+double conductance(const G& g, const VertexSet& s) {
   const std::uint64_t vol_s = volume(g, s);
   const std::uint64_t vol_rest = g.volume() - vol_s;
   const std::uint64_t denom = std::min(vol_s, vol_rest);
@@ -33,13 +35,23 @@ double conductance(const Graph& g, const VertexSet& s) {
   return static_cast<double>(cut_size(g, s)) / static_cast<double>(denom);
 }
 
-double balance(const Graph& g, const VertexSet& s) {
+template <GraphAccess G>
+double balance(const G& g, const VertexSet& s) {
   const std::uint64_t vol_s = volume(g, s);
   const std::uint64_t vol_rest = g.volume() - vol_s;
   if (g.volume() == 0) return 0.0;
   return static_cast<double>(std::min(vol_s, vol_rest)) /
          static_cast<double>(g.volume());
 }
+
+template std::uint64_t volume(const Graph&, const VertexSet&);
+template std::uint64_t volume(const GraphView&, const VertexSet&);
+template std::uint64_t cut_size(const Graph&, const VertexSet&);
+template std::uint64_t cut_size(const GraphView&, const VertexSet&);
+template double conductance(const Graph&, const VertexSet&);
+template double conductance(const GraphView&, const VertexSet&);
+template double balance(const Graph&, const VertexSet&);
+template double balance(const GraphView&, const VertexSet&);
 
 namespace {
 
@@ -88,7 +100,8 @@ std::optional<VertexSet> most_balanced_cut_exact(const Graph& g, double phi) {
   return best;
 }
 
-std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+template <GraphAccess G>
+std::vector<std::uint32_t> bfs_distances(const G& g, VertexId source) {
   constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
   std::deque<VertexId> queue;
@@ -107,13 +120,17 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
   return dist;
 }
 
+template std::vector<std::uint32_t> bfs_distances(const Graph&, VertexId);
+template std::vector<std::uint32_t> bfs_distances(const GraphView&, VertexId);
+
 namespace {
 
-std::pair<std::uint32_t, VertexId> eccentricity(const Graph& g, VertexId src) {
+template <GraphAccess G>
+std::pair<std::uint32_t, VertexId> eccentricity(const G& g, VertexId src) {
   const auto dist = bfs_distances(g, src);
   std::uint32_t ecc = 0;
   VertexId far = src;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (const VertexId v : g.vertices()) {
     if (dist[v] != std::numeric_limits<std::uint32_t>::max() && dist[v] > ecc) {
       ecc = dist[v];
       far = v;
@@ -132,12 +149,17 @@ std::uint32_t diameter_exact(const Graph& g) {
   return best;
 }
 
-std::uint32_t diameter_double_sweep(const Graph& g) {
-  if (g.num_vertices() == 0) return 0;
-  const auto [ecc0, far] = eccentricity(g, 0);
+template <GraphAccess G>
+std::uint32_t diameter_double_sweep(const G& g) {
+  const auto vs = g.vertices();
+  if (vs.begin() == vs.end()) return 0;
+  const auto [ecc0, far] = eccentricity(g, *vs.begin());
   (void)ecc0;
   return eccentricity(g, far).first;
 }
+
+template std::uint32_t diameter_double_sweep(const Graph&);
+template std::uint32_t diameter_double_sweep(const GraphView&);
 
 namespace {
 

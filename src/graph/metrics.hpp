@@ -17,23 +17,33 @@
 #include <optional>
 #include <vector>
 
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 
 namespace xd {
 
-/// Vol(S): sum of ambient degrees over S.
-std::uint64_t volume(const Graph& g, const VertexSet& s);
+/// The set-quality metrics and BFS measures are generic over GraphAccess
+/// (Graph or GraphView): on a view, degrees/volumes read through to the
+/// ambient graph and removed/boundary slots count as loops -- exactly the
+/// numbers a materialized G{S} would give, without building it.
+
+/// Vol(S): sum of degrees over S.
+template <GraphAccess G>
+std::uint64_t volume(const G& g, const VertexSet& s);
 
 /// |∂(S)|: edges with exactly one endpoint in S (loops never counted).
-std::uint64_t cut_size(const Graph& g, const VertexSet& s);
+template <GraphAccess G>
+std::uint64_t cut_size(const G& g, const VertexSet& s);
 
 /// Conductance of the cut (S, V\S); infinity when either side has zero
 /// volume (matching "no nontrivial cut").
-double conductance(const Graph& g, const VertexSet& s);
+template <GraphAccess G>
+double conductance(const G& g, const VertexSet& s);
 
 /// bal(S) = min(Vol(S), Vol(S̄)) / Vol(V).
-double balance(const Graph& g, const VertexSet& s);
+template <GraphAccess G>
+double balance(const G& g, const VertexSet& s);
 
 /// Exact graph conductance Φ(G) by exhaustive enumeration.  Exponential:
 /// only for n <= 24 test oracles.  Returns infinity for graphs with no
@@ -47,15 +57,18 @@ std::optional<VertexSet> most_balanced_cut_exact(const Graph& g, double phi);
 
 /// Single-source BFS hop distances; unreachable = UINT32_MAX.  Self-loops
 /// are ignored.
-std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+template <GraphAccess G>
+std::vector<std::uint32_t> bfs_distances(const G& g, VertexId source);
 
 /// Exact diameter over the largest connected component... strictly: maximum
 /// eccentricity over all vertices, ignoring unreachable pairs.  O(n * m).
 std::uint32_t diameter_exact(const Graph& g);
 
 /// Diameter lower bound by double-sweep BFS (tight on many families) --
-/// cheap for big benches.
-std::uint32_t diameter_double_sweep(const Graph& g);
+/// cheap for big benches.  The first sweep starts at the smallest vertex
+/// (vertex 0 of a Graph; the smallest active vertex of a GraphView).
+template <GraphAccess G>
+std::uint32_t diameter_double_sweep(const G& g);
 
 /// Sorted triangle list (a < b < c).  Merge-join on sorted adjacency lists;
 /// O(Σ deg(v)^2 / ...) ~ O(m^{3/2}).  Ground truth for Theorem 2 tests.

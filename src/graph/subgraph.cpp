@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/graph_view.hpp"
 #include "util/check.hpp"
 
 namespace xd {
@@ -117,13 +118,14 @@ LiveSubgraph live_subgraph(const Graph& g, const std::vector<char>& removed,
   return out;
 }
 
+template <GraphAccess G>
 std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
-    const Graph& g) {
+    const G& g) {
   const std::size_t n = g.num_vertices();
   std::vector<std::uint32_t> comp(n, static_cast<std::uint32_t>(-1));
   std::size_t count = 0;
   std::vector<VertexId> stack;
-  for (VertexId root = 0; root < n; ++root) {
+  for (const VertexId root : g.vertices()) {
     if (comp[root] != static_cast<std::uint32_t>(-1)) continue;
     comp[root] = static_cast<std::uint32_t>(count);
     stack.push_back(root);
@@ -142,17 +144,46 @@ std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
   return {std::move(comp), count};
 }
 
+template std::pair<std::vector<std::uint32_t>, std::size_t>
+connected_components(const Graph& g);
+template std::pair<std::vector<std::uint32_t>, std::size_t>
+connected_components(const GraphView& g);
+
 std::vector<SubgraphMap> component_subgraphs(const Graph& g) {
   auto [comp, count] = connected_components(g);
-  std::vector<std::vector<VertexId>> members(count);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    members[comp[v]].push_back(v);
+  const std::size_t n = g.num_vertices();
+
+  // Single pass 1: bucket vertices (local ids assigned in ascending parent
+  // order, so each map matches what induced_subgraph would produce).
+  std::vector<SubgraphMap> out(count);
+  for (auto& sub : out) sub.from_parent.assign(n, SubgraphMap::kAbsent);
+  std::vector<VertexId> local(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    auto& sub = out[comp[v]];
+    local[v] = static_cast<VertexId>(sub.to_parent.size());
+    sub.from_parent[v] = local[v];
+    sub.to_parent.push_back(v);
   }
-  std::vector<SubgraphMap> out;
-  out.reserve(count);
-  for (auto& ids : members) {
-    out.push_back(induced_subgraph(g, VertexSet(std::move(ids))));
+
+  // Single pass 2: route every adjacency slot to its component's builder in
+  // the same (v ascending, slot) order induced_subgraph emits edges, so the
+  // resulting graphs are bit-identical to the per-component rebuild.
+  std::vector<GraphBuilder> builders;
+  builders.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    builders.emplace_back(out[c].to_parent.size(), /*allow_parallel=*/true);
   }
+  for (VertexId v = 0; v < n; ++v) {
+    auto& b = builders[comp[v]];
+    for (VertexId u : g.neighbors(v)) {
+      if (u == v) {
+        b.add_edge(local[v], local[v]);
+      } else if (u > v) {
+        b.add_edge(local[v], local[u]);  // same component by connectivity
+      }
+    }
+  }
+  for (std::size_t c = 0; c < count; ++c) out[c].graph = builders[c].build();
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 
@@ -61,13 +62,21 @@ struct LiveSubgraph {
 LiveSubgraph live_subgraph(const Graph& g, const std::vector<char>& removed,
                            const VertexSet& u);
 
-/// Connected components of g, treating self-loops as irrelevant.
-/// Returns (component id per vertex, number of components).
+/// Connected components, treating self-loops as irrelevant.  Generic over
+/// GraphAccess: on a GraphView only active vertices are labeled (inactive
+/// stay at the uint32 max sentinel) and masked slots -- reading as loops --
+/// are never traversed, so no remainder graph has to be materialized.
+/// Returns (component id per vertex, number of components); ids are dense
+/// and assigned in ascending order of each component's smallest vertex.
+template <GraphAccess G>
 std::pair<std::vector<std::uint32_t>, std::size_t> connected_components(
-    const Graph& g);
+    const G& g);
 
-/// Splits g into one SubgraphMap per connected component, each built with
-/// induced_subgraph (components have no boundary edges, so G[S] == G{S}).
+/// Splits g into one SubgraphMap per connected component, each equal to
+/// induced_subgraph on the component (components have no boundary edges, so
+/// G[S] == G{S}).  Single-pass: vertices are bucketed by component id and
+/// every adjacency is scanned exactly once, instead of a VertexSet +
+/// induced-subgraph rebuild per component.
 std::vector<SubgraphMap> component_subgraphs(const Graph& g);
 
 }  // namespace xd

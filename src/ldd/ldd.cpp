@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "graph/vertex_set.hpp"
@@ -40,9 +41,11 @@ LddResult low_diameter_decomposition(congest::Network& net,
     ++out.num_cut_edges;
   }
 
-  // Final components: connectivity after removing the cut edges.
-  const Graph remainder = remove_edges_with_loops(g, out.cut_edge);
-  auto [comp, count] = connected_components(remainder);
+  // Final components: connectivity after removing the cut edges -- on a
+  // zero-copy overlay where cut edges read as loops, instead of rebuilding
+  // the remainder CSR.
+  auto [comp, count] = connected_components(GraphView(
+      g, &out.cut_edge, VertexSet::all(n)));
   out.component = std::move(comp);
   out.num_components = count;
   out.rounds = net.ledger().rounds() - rounds_before;
@@ -50,8 +53,9 @@ LddResult low_diameter_decomposition(congest::Network& net,
 }
 
 std::uint32_t max_component_diameter(const Graph& g, const LddResult& result) {
-  // Components must be measured in the remainder graph (cut edges gone).
-  const Graph remainder = remove_edges_with_loops(g, result.cut_edge);
+  // Components must be measured with the cut edges gone; per-component
+  // overlay views (cut edges masked to loops, BFS ignores loops) replace
+  // the remainder rebuild + per-component induced subgraphs.
   std::vector<std::vector<VertexId>> members(result.num_components);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     members[result.component[v]].push_back(v);
@@ -59,8 +63,8 @@ std::uint32_t max_component_diameter(const Graph& g, const LddResult& result) {
   std::uint32_t worst = 0;
   for (auto& ids : members) {
     if (ids.size() < 2) continue;
-    const SubgraphMap sub = induced_subgraph(remainder, VertexSet(std::move(ids)));
-    worst = std::max(worst, diameter_double_sweep(sub.graph));
+    const GraphView view(g, &result.cut_edge, VertexSet(std::move(ids)));
+    worst = std::max(worst, diameter_double_sweep(view));
   }
   return worst;
 }

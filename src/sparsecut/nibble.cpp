@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "graph/graph_view.hpp"
 #include "spectral/lazy_walk.hpp"
 #include "util/check.hpp"
 
@@ -34,7 +34,8 @@ struct SupportSweep {
   }
 };
 
-SupportSweep build_sweep(const Graph& g, const SparseDist& dist) {
+template <GraphAccess G>
+SupportSweep build_sweep(const G& g, const SparseDist& dist) {
   SupportSweep s;
   const std::size_t k = dist.size();
   std::vector<std::size_t> idx(k);
@@ -139,7 +140,39 @@ VertexSet sweep_prefix_to_set(const SupportSweep& sweep, std::size_t j) {
       sweep.order.begin(), sweep.order.begin() + static_cast<std::ptrdiff_t>(j)));
 }
 
-NibbleResult run_nibble(const Graph& g, VertexId v, const NibbleParams& prm,
+/// Relative L1 movement between consecutive truncated distributions, by a
+/// deterministic two-pointer merge over the ascending supports.  The
+/// accumulation order is the vertex order, so a GraphView run (ambient ids)
+/// and a materialized run (local ids) sum in the same sequence -- a hash-map
+/// iteration here would tie the float sum to the id *values* and break the
+/// view/materialized bit-identity.
+std::pair<double, double> stall_movement(const SparseDist& prev,
+                                         const SparseDist& dist) {
+  double moved = 0.0;
+  double total = 0.0;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < prev.size() || b < dist.size()) {
+    if (b == dist.size() ||
+        (a < prev.size() && prev.support[a] < dist.support[b])) {
+      moved += prev.mass[a];
+      ++a;
+    } else if (a == prev.size() || dist.support[b] < prev.support[a]) {
+      moved += dist.mass[b];
+      total += dist.mass[b];
+      ++b;
+    } else {
+      moved += std::abs(dist.mass[b] - prev.mass[a]);
+      total += dist.mass[b];
+      ++a;
+      ++b;
+    }
+  }
+  return {moved, total};
+}
+
+template <GraphAccess G>
+NibbleResult run_nibble(const G& g, VertexId v, const NibbleParams& prm,
                         int b, bool approximate) {
   XD_CHECK_MSG(b >= 1 && b <= prm.ell, "scale b=" << b << " outside [1, ℓ]");
   XD_CHECK_MSG(g.degree(v) > 0, "start vertex " << v << " is isolated");
@@ -166,22 +199,7 @@ NibbleResult run_nibble(const Graph& g, VertexId v, const NibbleParams& prm,
     for (VertexId u : dist.support) touched.insert(u);
 
     if (prm.stall_tolerance > 0.0) {
-      // Relative L1 movement between consecutive truncated distributions.
-      std::unordered_map<VertexId, double> prev_mass;
-      prev_mass.reserve(prev.size() * 2);
-      for (std::size_t i = 0; i < prev.size(); ++i) {
-        prev_mass[prev.support[i]] = prev.mass[i];
-      }
-      double moved = 0.0;
-      double total = 0.0;
-      for (std::size_t i = 0; i < dist.size(); ++i) {
-        const auto it = prev_mass.find(dist.support[i]);
-        const double before = it == prev_mass.end() ? 0.0 : it->second;
-        moved += std::abs(dist.mass[i] - before);
-        total += dist.mass[i];
-        if (it != prev_mass.end()) prev_mass.erase(it);
-      }
-      for (const auto& [u, m] : prev_mass) moved += m;
+      const auto [moved, total] = stall_movement(prev, dist);
       stall_run = (total > 0 && moved / total < prm.stall_tolerance)
                       ? stall_run + 1
                       : 0;
@@ -231,13 +249,23 @@ NibbleResult run_nibble(const Graph& g, VertexId v, const NibbleParams& prm,
 
 }  // namespace
 
-NibbleResult nibble(const Graph& g, VertexId v, const NibbleParams& prm, int b) {
+template <GraphAccess G>
+NibbleResult nibble(const G& g, VertexId v, const NibbleParams& prm, int b) {
   return run_nibble(g, v, prm, b, /*approximate=*/false);
 }
 
-NibbleResult approximate_nibble(const Graph& g, VertexId v,
+template <GraphAccess G>
+NibbleResult approximate_nibble(const G& g, VertexId v,
                                 const NibbleParams& prm, int b) {
   return run_nibble(g, v, prm, b, /*approximate=*/true);
 }
+
+template NibbleResult nibble(const Graph&, VertexId, const NibbleParams&, int);
+template NibbleResult nibble(const GraphView&, VertexId, const NibbleParams&,
+                             int);
+template NibbleResult approximate_nibble(const Graph&, VertexId,
+                                         const NibbleParams&, int);
+template NibbleResult approximate_nibble(const GraphView&, VertexId,
+                                         const NibbleParams&, int);
 
 }  // namespace xd::sparsecut

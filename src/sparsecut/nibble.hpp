@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 #include "sparsecut/nibble_params.hpp"
@@ -55,11 +56,15 @@ struct NibbleResult {
 };
 
 /// Exact Nibble (checks every prefix).  Requires 1 <= b <= prm.ell and
-/// deg(v) > 0.
-NibbleResult nibble(const Graph& g, VertexId v, const NibbleParams& prm, int b);
+/// deg(v) > 0.  Generic over GraphAccess: run on a GraphView it walks G{S}
+/// in place (masked slots deposit mass back), bit-identical to a run on the
+/// materialized graph modulo the id renumbering.
+template <GraphAccess G>
+NibbleResult nibble(const G& g, VertexId v, const NibbleParams& prm, int b);
 
 /// ApproximateNibble (checks the geometric candidate sequence only).
-NibbleResult approximate_nibble(const Graph& g, VertexId v,
+template <GraphAccess G>
+NibbleResult approximate_nibble(const G& g, VertexId v,
                                 const NibbleParams& prm, int b);
 
 }  // namespace xd::sparsecut

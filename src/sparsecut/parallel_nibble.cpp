@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
 #include "util/check.hpp"
 
@@ -48,7 +49,8 @@ std::uint64_t instance_rounds(const NibbleResult& r, Preset preset) {
 
 }  // namespace
 
-ParallelNibbleResult parallel_nibble(const Graph& g, const NibbleParams& prm,
+template <GraphAccess G>
+ParallelNibbleResult parallel_nibble(const G& g, const NibbleParams& prm,
                                      Rng& rng, congest::RoundLedger& ledger,
                                      std::optional<std::uint32_t> diameter_hint) {
   ParallelNibbleResult out;
@@ -79,9 +81,7 @@ ParallelNibbleResult parallel_nibble(const Graph& g, const NibbleParams& prm,
   for (const auto& run : runs) {
     std::unordered_set<EdgeId> mine;
     for (VertexId v : run.inner.touched) {
-      for (EdgeId e : g.incident_edges(v)) {
-        if (!g.is_loop(e)) mine.insert(e);
-      }
+      g.for_each_live_incident(v, [&](EdgeId e, VertexId) { mine.insert(e); });
     }
     for (EdgeId e : mine) {
       max_overlap = std::max(max_overlap, ++participation[e]);
@@ -143,5 +143,13 @@ ParallelNibbleResult parallel_nibble(const Graph& g, const NibbleParams& prm,
   out.rounds = ledger.rounds() - rounds_before;
   return out;
 }
+
+template ParallelNibbleResult parallel_nibble(const Graph&, const NibbleParams&,
+                                              Rng&, congest::RoundLedger&,
+                                              std::optional<std::uint32_t>);
+template ParallelNibbleResult parallel_nibble(const GraphView&,
+                                              const NibbleParams&, Rng&,
+                                              congest::RoundLedger&,
+                                              std::optional<std::uint32_t>);
 
 }  // namespace xd::sparsecut

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "congest/ledger.hpp"
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 #include "sparsecut/nibble_params.hpp"
@@ -45,8 +46,12 @@ struct ParallelNibbleResult {
 /// Runs ParallelNibble.  `diameter_hint`, when provided, is used for the
 /// O(D) terms of the charging rules (the expander-decomposition driver
 /// passes the LDD diameter bound); otherwise a double-sweep BFS estimate of
-/// the current graph is used.
-ParallelNibbleResult parallel_nibble(const Graph& g, const NibbleParams& prm,
+/// the current graph is used.  Generic over GraphAccess; on a GraphView the
+/// overlap guard keys participation by ambient EdgeId (masked slots are
+/// loops and never participate), charging the same rounds as a materialized
+/// run.
+template <GraphAccess G>
+ParallelNibbleResult parallel_nibble(const G& g, const NibbleParams& prm,
                                      Rng& rng, congest::RoundLedger& ledger,
                                      std::optional<std::uint32_t> diameter_hint =
                                          std::nullopt);

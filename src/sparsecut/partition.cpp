@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
-#include "graph/subgraph.hpp"
 #include "sparsecut/parallel_nibble.hpp"
 #include "util/check.hpp"
 
 namespace xd::sparsecut {
 
-PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
+template <GraphAccess G>
+PartitionResult partition(const G& g, const NibbleParams& prm, Rng& rng,
                           congest::RoundLedger& ledger,
                           std::optional<std::uint32_t> diameter_hint) {
   PartitionResult out;
@@ -18,7 +19,8 @@ PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
   const std::uint64_t total_volume = g.volume();
   XD_CHECK(total_volume > 0);
 
-  std::vector<char> in_w(g.num_vertices(), 1);
+  std::vector<char> in_w(g.num_vertices(), 0);
+  for (const VertexId v : g.vertices()) in_w[v] = 1;
   std::vector<char> in_c(g.num_vertices(), 0);
   std::uint64_t removed_volume = 0;
   int empty_streak = 0;
@@ -26,15 +28,16 @@ PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
   for (std::uint64_t i = 1; i <= prm.max_iterations; ++i) {
     out.iterations = i;
 
-    const VertexSet w = VertexSet::from_bitmap(in_w);
-    const SubgraphMap sub = induced_with_loops(g, w);  // G{W_{i-1}}
-    if (sub.graph.volume() == 0) break;
+    // G{W_{i-1}} as a zero-copy overlay: same degrees, |E|, and volume a
+    // materialized induced_with_loops would report, no CSR rebuilt per
+    // restart.  Cut ids come back in g's own id space.
+    const GraphView sub = restrict_view(g, VertexSet::from_bitmap(in_w));
+    if (sub.volume() == 0) break;
     const NibbleParams sub_prm =
-        prm.rescaled(std::max<std::size_t>(sub.graph.num_edges(), 1),
-                     sub.graph.volume());
+        prm.rescaled(std::max<std::size_t>(sub.num_edges(), 1), sub.volume());
 
     ParallelNibbleResult pn =
-        parallel_nibble(sub.graph, sub_prm, rng, ledger, diameter_hint);
+        parallel_nibble(sub, sub_prm, rng, ledger, diameter_hint);
     if (pn.overlap_aborted) ++out.overlap_aborts;
 
     if (!pn.cut.empty() && prm.preset == Preset::kPractical) {
@@ -42,7 +45,7 @@ PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
       // stay within 2x of the Theorem 3 contract (6 φ); a union that does
       // not is treated as an empty round (Lemma 7 gives this structurally
       // under paper constants).
-      if (conductance(sub.graph, pn.cut) > 12.0 * sub_prm.phi) {
+      if (conductance(sub, pn.cut) > 12.0 * sub_prm.phi) {
         pn.cut = VertexSet{};
       }
     }
@@ -57,8 +60,7 @@ PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
     }
     empty_streak = 0;
 
-    for (VertexId sv : pn.cut) {
-      const VertexId pv = sub.to_parent[sv];
+    for (VertexId pv : pn.cut) {
       XD_CHECK(in_w[pv]);
       in_w[pv] = 0;
       in_c[pv] = 1;
@@ -82,6 +84,13 @@ PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
   return out;
 }
 
+template PartitionResult partition(const Graph&, const NibbleParams&, Rng&,
+                                   congest::RoundLedger&,
+                                   std::optional<std::uint32_t>);
+template PartitionResult partition(const GraphView&, const NibbleParams&, Rng&,
+                                   congest::RoundLedger&,
+                                   std::optional<std::uint32_t>);
+
 double theorem3_phi_run(double phi, std::size_t m, Preset preset) {
   XD_CHECK(phi > 0 && m >= 1);
   if (preset == Preset::kPaper) {
@@ -104,8 +113,9 @@ double theorem3_conductance_bound(double phi, std::size_t m, std::uint64_t vol,
   return 6.0 * phi;
 }
 
+template <GraphAccess G>
 PartitionResult nearly_most_balanced_sparse_cut(
-    const Graph& g, double phi, Preset preset, Rng& rng,
+    const G& g, double phi, Preset preset, Rng& rng,
     congest::RoundLedger& ledger, std::optional<std::uint32_t> diameter_hint,
     bool thorough) {
   const std::size_t m = std::max<std::size_t>(g.num_edges(), 1);
@@ -130,5 +140,12 @@ PartitionResult nearly_most_balanced_sparse_cut(
   }
   return res;
 }
+
+template PartitionResult nearly_most_balanced_sparse_cut(
+    const Graph&, double, Preset, Rng&, congest::RoundLedger&,
+    std::optional<std::uint32_t>, bool);
+template PartitionResult nearly_most_balanced_sparse_cut(
+    const GraphView&, double, Preset, Rng&, congest::RoundLedger&,
+    std::optional<std::uint32_t>, bool);
 
 }  // namespace xd::sparsecut

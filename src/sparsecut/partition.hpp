@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "congest/ledger.hpp"
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 #include "sparsecut/nibble_params.hpp"
@@ -48,7 +49,11 @@ struct PartitionResult {
 
 /// Lemma 8's Partition.  Charges rounds to `ledger`; `diameter_hint`
 /// bounds the O(D) terms when the caller knows one (e.g. from the LDD).
-PartitionResult partition(const Graph& g, const NibbleParams& prm, Rng& rng,
+/// Generic over GraphAccess, and the restarts are zero-copy either way:
+/// each iteration's G{W_{i-1}} is a GraphView overlay (restrict_view), not
+/// a materialized subgraph, so no CSR is built anywhere in the loop.
+template <GraphAccess G>
+PartitionResult partition(const G& g, const NibbleParams& prm, Rng& rng,
                           congest::RoundLedger& ledger,
                           std::optional<std::uint32_t> diameter_hint =
                               std::nullopt);
@@ -84,9 +89,12 @@ double theorem3_conductance_bound(double phi, std::size_t m, std::uint64_t vol,
 /// Runs Partition at φ_run = theorem3_phi_run(φ, ...).  The returned cut,
 /// when non-empty, has measured conductance recorded in the result; the
 /// theorem's guarantee is conductance O(φ^{1/3} log^{5/3} n) and balance
-/// >= min{b/2, 1/48} whenever Φ(G) <= φ.
+/// >= min{b/2, 1/48} whenever Φ(G) <= φ.  The decomposition driver calls
+/// this with GraphView work items; cut ids come back in the caller's id
+/// space (ambient ids for a view -- no provenance mapping needed).
+template <GraphAccess G>
 PartitionResult nearly_most_balanced_sparse_cut(
-    const Graph& g, double phi, Preset preset, Rng& rng,
+    const G& g, double phi, Preset preset, Rng& rng,
     congest::RoundLedger& ledger,
     std::optional<std::uint32_t> diameter_hint = std::nullopt,
     bool thorough = false);

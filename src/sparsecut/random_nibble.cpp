@@ -1,14 +1,16 @@
 #include "sparsecut/random_nibble.hpp"
 
+#include "graph/graph_view.hpp"
 #include "util/check.hpp"
 
 namespace xd::sparsecut {
 
-VertexId sample_by_degree(const Graph& g, Rng& rng) {
+template <GraphAccess G>
+VertexId sample_by_degree(const G& g, Rng& rng) {
   const std::uint64_t vol = g.volume();
   XD_CHECK_MSG(vol > 0, "cannot sample from a zero-volume graph");
   std::uint64_t r = rng.next_below(vol);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (const VertexId v : g.vertices()) {
     const std::uint64_t d = g.degree(v);
     if (r < d) return v;
     r -= d;
@@ -17,7 +19,8 @@ VertexId sample_by_degree(const Graph& g, Rng& rng) {
   return 0;
 }
 
-RandomNibbleResult random_nibble(const Graph& g, const NibbleParams& prm,
+template <GraphAccess G>
+RandomNibbleResult random_nibble(const G& g, const NibbleParams& prm,
                                  Rng& rng) {
   RandomNibbleResult out;
   out.start = sample_by_degree(g, rng);
@@ -25,5 +28,12 @@ RandomNibbleResult random_nibble(const Graph& g, const NibbleParams& prm,
   out.inner = approximate_nibble(g, out.start, prm, out.scale);
   return out;
 }
+
+template VertexId sample_by_degree(const Graph&, Rng&);
+template VertexId sample_by_degree(const GraphView&, Rng&);
+template RandomNibbleResult random_nibble(const Graph&, const NibbleParams&,
+                                          Rng&);
+template RandomNibbleResult random_nibble(const GraphView&, const NibbleParams&,
+                                          Rng&);
 
 }  // namespace xd::sparsecut

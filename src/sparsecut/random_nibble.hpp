@@ -5,6 +5,7 @@
 /// degree distribution ψ_V and a scale b in [1, ℓ] with Pr[b=i] ∝ 2^{-i},
 /// then run ApproximateNibble(G, v, φ, b).
 
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "sparsecut/nibble.hpp"
 #include "sparsecut/nibble_params.hpp"
@@ -20,12 +21,16 @@ struct RandomNibbleResult {
 };
 
 /// Runs one RandomNibble.  Requires g.volume() > 0.
-RandomNibbleResult random_nibble(const Graph& g, const NibbleParams& prm,
+template <GraphAccess G>
+RandomNibbleResult random_nibble(const G& g, const NibbleParams& prm,
                                  Rng& rng);
 
 /// Degree-distribution vertex sample (ψ_V): Pr[x = v] = deg(v)/Vol(V).
 /// Exposed for tests; Lemma 10's distributed token descent computes the
-/// same distribution over a BFS tree.
-VertexId sample_by_degree(const Graph& g, Rng& rng);
+/// same distribution over a BFS tree.  Iterates vertices() in ascending
+/// order, so a view samples the same vertex as its materialized twin for
+/// the same draw.
+template <GraphAccess G>
+VertexId sample_by_degree(const G& g, Rng& rng);
 
 }  // namespace xd::sparsecut

@@ -3,31 +3,42 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "graph/graph_view.hpp"
 #include "util/check.hpp"
 
 namespace xd::spectral {
 
-std::vector<double> lazy_step(const Graph& g, const std::vector<double>& p) {
+template <GraphAccess G>
+std::vector<double> lazy_step(const G& g, const std::vector<double>& p) {
   const std::size_t n = g.num_vertices();
   XD_CHECK(p.size() == n);
   std::vector<double> next(n, 0.0);
-  for (VertexId v = 0; v < n; ++v) {
+  for (const VertexId v : g.vertices()) {
     if (p[v] == 0.0) continue;
     const double deg = g.degree(v);
     XD_CHECK_MSG(deg > 0, "walk mass on an isolated vertex " << v);
     next[v] += p[v] / 2.0;
     const double share = p[v] / (2.0 * deg);
     for (VertexId u : g.neighbors(v)) {
-      next[u] += share;  // u == v for loop slots: deposits back
+      next[u] += share;  // u == v for loop/masked slots: deposits back
     }
   }
   return next;
 }
 
-std::vector<double> lazy_walk(const Graph& g, std::vector<double> p0, int steps) {
+template <GraphAccess G>
+std::vector<double> lazy_walk(const G& g, std::vector<double> p0, int steps) {
   for (int t = 0; t < steps; ++t) p0 = lazy_step(g, p0);
   return p0;
 }
+
+template std::vector<double> lazy_step(const Graph&,
+                                       const std::vector<double>&);
+template std::vector<double> lazy_step(const GraphView&,
+                                       const std::vector<double>&);
+template std::vector<double> lazy_walk(const Graph&, std::vector<double>, int);
+template std::vector<double> lazy_walk(const GraphView&, std::vector<double>,
+                                       int);
 
 double SparseDist::total() const {
   double s = 0;
@@ -42,11 +53,15 @@ SparseDist SparseDist::point(VertexId v) {
   return d;
 }
 
-SparseDist truncated_step(const Graph& g, const SparseDist& p, double epsilon) {
+template <GraphAccess G>
+SparseDist truncated_step(const G& g, const SparseDist& p, double epsilon) {
   // Pull-based and order-deterministic: each candidate u sums contributions
   // from its in-neighbors in ascending sender id.  The distributed kernel
   // implementation sums its inbox in the same order, so the two paths agree
-  // bit-for-bit (validated by DistributedNibble tests).
+  // bit-for-bit (validated by DistributedNibble tests).  Determinism is
+  // also what makes a GraphView run reproduce a materialized run exactly:
+  // the renumbering is monotone, so every sort below induces the same
+  // permutation either way.
   std::unordered_map<VertexId, double> mass_of;
   mass_of.reserve(p.size() * 2);
   for (std::size_t i = 0; i < p.size(); ++i) mass_of[p.support[i]] = p.mass[i];
@@ -69,7 +84,7 @@ SparseDist truncated_step(const Graph& g, const SparseDist& p, double epsilon) {
     incoming.clear();
     double retained = 0.0;
     if (const auto it = mass_of.find(u); it != mass_of.end()) {
-      // Lazy half plus loop slots depositing back.
+      // Lazy half plus loop (and masked) slots depositing back.
       retained = it->second / 2.0 +
                  static_cast<double>(g.loops_at(u)) * it->second / (2.0 * deg_u);
     }
@@ -91,7 +106,8 @@ SparseDist truncated_step(const Graph& g, const SparseDist& p, double epsilon) {
   return out;
 }
 
-std::vector<SparseDist> truncated_walk(const Graph& g, VertexId v, int steps,
+template <GraphAccess G>
+std::vector<SparseDist> truncated_walk(const G& g, VertexId v, int steps,
                                        double epsilon) {
   std::vector<SparseDist> evolution;
   evolution.reserve(static_cast<std::size_t>(steps) + 1);
@@ -103,24 +119,40 @@ std::vector<SparseDist> truncated_walk(const Graph& g, VertexId v, int steps,
   return evolution;
 }
 
-std::vector<double> stationary(const Graph& g) {
+template SparseDist truncated_step(const Graph&, const SparseDist&, double);
+template SparseDist truncated_step(const GraphView&, const SparseDist&, double);
+template std::vector<SparseDist> truncated_walk(const Graph&, VertexId, int,
+                                                double);
+template std::vector<SparseDist> truncated_walk(const GraphView&, VertexId, int,
+                                                double);
+
+template <GraphAccess G>
+std::vector<double> stationary(const G& g) {
   const double vol = static_cast<double>(g.volume());
   std::vector<double> pi(g.num_vertices(), 0.0);
   if (vol == 0) return pi;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (const VertexId v : g.vertices()) {
     pi[v] = g.degree(v) / vol;
   }
   return pi;
 }
 
-std::vector<double> normalize_by_degree(const Graph& g,
+template <GraphAccess G>
+std::vector<double> normalize_by_degree(const G& g,
                                         const std::vector<double>& p) {
   XD_CHECK(p.size() == g.num_vertices());
   std::vector<double> rho(p.size(), 0.0);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (const VertexId v : g.vertices()) {
     if (g.degree(v) > 0) rho[v] = p[v] / g.degree(v);
   }
   return rho;
 }
+
+template std::vector<double> stationary(const Graph&);
+template std::vector<double> stationary(const GraphView&);
+template std::vector<double> normalize_by_degree(const Graph&,
+                                                 const std::vector<double>&);
+template std::vector<double> normalize_by_degree(const GraphView&,
+                                                 const std::vector<double>&);
 
 }  // namespace xd::spectral

@@ -15,19 +15,31 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 
 namespace xd::spectral {
 
-/// One dense lazy-walk step: returns M p.
-std::vector<double> lazy_step(const Graph& g, const std::vector<double>& p);
+/// All walk operators are generic over GraphAccess (Graph or GraphView).
+/// On a view the masked slots read as self-loops, so the walk *is* the
+/// paper's G{S} walk -- mass that would have crossed a removed or boundary
+/// edge deposits back -- without materializing G{S}.
+
+/// One dense lazy-walk step: returns M p.  Dense vectors are indexed by the
+/// ambient id space (p must be zero off the active set of a view).
+template <GraphAccess G>
+std::vector<double> lazy_step(const G& g, const std::vector<double>& p);
 
 /// t dense lazy-walk steps from the distribution `p0`.
-std::vector<double> lazy_walk(const Graph& g, std::vector<double> p0, int steps);
+template <GraphAccess G>
+std::vector<double> lazy_walk(const G& g, std::vector<double> p0, int steps);
 
 /// Sparse distribution: only the support is materialized.
 struct SparseDist {
-  /// Parallel arrays (vertex, mass), unordered, no duplicates, mass > 0.
+  /// Parallel arrays (vertex, mass), ascending by vertex, no duplicates,
+  /// mass > 0.  (point() is trivially sorted and truncated_step emits its
+  /// candidates in ascending order, so the invariant is maintained; the
+  /// Nibble stall detector's deterministic merge relies on it.)
   std::vector<VertexId> support;
   std::vector<double> mass;
 
@@ -41,18 +53,22 @@ struct SparseDist {
 
 /// One sparse lazy-walk step followed by ε-truncation:  [M p]_ε.
 /// Cost O(Vol(support)).
-SparseDist truncated_step(const Graph& g, const SparseDist& p, double epsilon);
+template <GraphAccess G>
+SparseDist truncated_step(const G& g, const SparseDist& p, double epsilon);
 
 /// The full truncated evolution p̃_0 = χ_v, p̃_t = [M p̃_{t-1}]_ε for
 /// t = 1..steps.  Returns all t+1 distributions (index = t).
-std::vector<SparseDist> truncated_walk(const Graph& g, VertexId v, int steps,
+template <GraphAccess G>
+std::vector<SparseDist> truncated_walk(const G& g, VertexId v, int steps,
                                        double epsilon);
 
 /// Stationary distribution π(x) = deg(x)/Vol(V).
-std::vector<double> stationary(const Graph& g);
+template <GraphAccess G>
+std::vector<double> stationary(const G& g);
 
 /// ρ(x) = p(x)/deg(x) for a dense p (0 where deg = 0).
-std::vector<double> normalize_by_degree(const Graph& g,
+template <GraphAccess G>
+std::vector<double> normalize_by_degree(const G& g,
                                         const std::vector<double>& p);
 
 }  // namespace xd::spectral

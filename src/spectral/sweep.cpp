@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "graph/graph_view.hpp"
 #include "util/check.hpp"
 
 namespace xd::spectral {
@@ -22,11 +23,12 @@ VertexSet Sweep::prefix(std::size_t j) const {
       std::vector<VertexId>(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(j)));
 }
 
-Sweep sweep_cut(const Graph& g, const std::vector<double>& rho) {
+template <GraphAccess G>
+Sweep sweep_cut(const G& g, const std::vector<double>& rho) {
   XD_CHECK(rho.size() == g.num_vertices());
   Sweep s;
   s.total_volume = g.volume();
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (const VertexId v : g.vertices()) {
     if (rho[v] > 0.0) s.order.push_back(v);
   }
   std::sort(s.order.begin(), s.order.end(), [&](VertexId a, VertexId b) {
@@ -62,6 +64,9 @@ Sweep sweep_cut(const Graph& g, const std::vector<double>& rho) {
   }
   return s;
 }
+
+template Sweep sweep_cut(const Graph&, const std::vector<double>&);
+template Sweep sweep_cut(const GraphView&, const std::vector<double>&);
 
 std::size_t best_prefix(const Sweep& sweep) {
   std::size_t best = 0;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/access.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 
@@ -37,9 +38,13 @@ struct Sweep {
   [[nodiscard]] VertexSet prefix(std::size_t j) const;
 };
 
-/// Builds the sweep for score vector rho (dense; non-positive entries are
-/// excluded from the ordering).  O(m + support log support).
-Sweep sweep_cut(const Graph& g, const std::vector<double>& rho);
+/// Builds the sweep for score vector rho (dense, ambient-indexed;
+/// non-positive entries are excluded from the ordering).  Generic over
+/// GraphAccess: on a GraphView the prefix cut counts only live edges --
+/// masked slots read as loops and loops never cross.  O(m + support log
+/// support).
+template <GraphAccess G>
+Sweep sweep_cut(const G& g, const std::vector<double>& rho);
 
 /// Position (1-based) of the minimum-conductance prefix, or 0 if empty.
 std::size_t best_prefix(const Sweep& sweep);

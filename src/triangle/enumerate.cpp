@@ -8,6 +8,7 @@
 #include "congest/network.hpp"
 #include "congest/scheduler.hpp"
 #include "expander/decomposition.hpp"
+#include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "routing/hierarchical_router.hpp"
@@ -135,14 +136,18 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
                                  congest::RoundLedger& lg) {
       ClusterOut res;
 
-      // Cluster subgraph over ambient ids for the router.
+      // Cluster slice as a zero-copy view over the level subgraph.  Every
+      // branch below hands the cluster to a router, and routers are the
+      // materialization boundary (they renumber densely), so the CSR is
+      // still built exactly once per cluster via materialize_induced();
+      // the view contributes the edge counts that pick the branch.
       std::vector<VertexId> ambient_members;
       ambient_members.reserve(members[c].size());
       for (const VertexId lv : members[c]) {
         ambient_members.push_back(sub.to_parent[lv]);
       }
-      const SubgraphMap cluster_sub =
-          induced_subgraph(sub.graph, VertexSet(members[c]));
+      const GraphView cluster_view(sub.graph, nullptr, VertexSet(members[c]));
+      const LiveSubgraph cluster_sub = cluster_view.materialize_induced();
 
       std::vector<char> in_cluster(g.num_vertices(), 0);
       std::vector<VertexId> to_local(g.num_vertices(), 0);
@@ -151,7 +156,7 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
         to_local[ambient_members[i]] = static_cast<VertexId>(i);
       }
 
-      if (cluster_sub.graph.num_nonloop_edges() == 0 ||
+      if (cluster_view.num_nonloop_edges() == 0 ||
           ambient_members.size() == 1) {
         // Single vertex or edgeless cluster: its E_i edges all touch one
         // vertex, which can join them locally (deg(v) messages over its

@@ -114,5 +114,48 @@ TEST(Graph, VolumeIdentity) {
   EXPECT_EQ(g.volume(), 2 * g.num_nonloop_edges() + g.num_loops());
 }
 
+TEST(Graph, HasEdgeMatchesAdjacencyScan) {
+  // has_edge now binary-searches the sorted-neighbor index (shared with
+  // slot_of); it must agree with a plain adjacency scan everywhere,
+  // including with self-loops and parallel edges present.
+  GraphBuilder b(8, /*allow_parallel=*/true);
+  b.add_edge(0, 1).add_edge(0, 1).add_edge(1, 2).add_edge(2, 5);
+  b.add_edge(3, 4).add_loops(2, 2).add_edge(6, 0);
+  const Graph g = b.build();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (u == v) continue;
+      const auto nbrs = g.neighbors(u);
+      const bool scan = std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+      EXPECT_EQ(g.has_edge(u, v), scan) << "u=" << u << " v=" << v;
+      EXPECT_EQ(g.has_edge(u, v), g.slot_of(u, v) != Graph::kNoSlot);
+    }
+  }
+}
+
+TEST(Graph, HasEdgeIsLogarithmic) {
+  // On a star, probing through the hub must stay O(log deg): has_edge picks
+  // the leaf side (degree 1), and even hub-side slot_of is a binary search.
+  const std::size_t n = 1 << 12;
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  std::uint64_t probes = 0;
+  EXPECT_NE(g.slot_of(0, static_cast<VertexId>(n - 1), &probes),
+            Graph::kNoSlot);
+  EXPECT_LE(probes, 16u);  // ~log2(4095) + 1
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(GraphBuilder, TotalBuildsCounterAdvances) {
+  const std::uint64_t before = GraphBuilder::total_builds();
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  (void)b.build();
+  (void)b.build();
+  EXPECT_EQ(GraphBuilder::total_builds(), before + 2);
+}
+
 }  // namespace
 }  // namespace xd
