@@ -9,14 +9,220 @@
 //   E4b  sparse graphs: the decomposition splits and the E* recursion
 //        engages; exactness against ground truth everywhere.
 //   E4c  router ablation: GKS cost model vs fully simulated TreeRouter.
+//   E4d  proxy-join data plane, flat vs seed: the flat-arena
+//        enumerate_cluster (triple ranking + sort-grouped buckets + CSR
+//        merge join + stamped scratch) against the retained seed reference
+//        (hashed host table, std::map buckets, per-bucket hash join,
+//        per-cluster O(n) membership vectors) over a 100-cluster workload
+//        at --scale ambient vertices.  --json PATH emits the E4d summary
+//        (the BENCH_triangle.json trajectory point; acceptance: >= 3x).
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/xd.hpp"
 
-int main() {
+namespace {
+
+/// Counts demands without routing: isolates the data plane's wall clock
+/// from router simulation in E4d.
+class NullRouter : public xd::routing::Router {
+ public:
+  std::uint64_t preprocess() override { return 0; }
+  std::uint64_t route(const std::vector<xd::routing::Demand>& demands) override {
+    demands_ += demands.size();
+    ++queries_;
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t queries() const override { return queries_; }
+  [[nodiscard]] std::uint64_t demands() const { return demands_; }
+
+ private:
+  std::uint64_t queries_ = 0;
+  std::uint64_t demands_ = 0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// E4d: flat vs seed proxy data plane over a synthetic multi-cluster level
+/// (disjoint G(cn, 8/cn) blocks, one cluster each -- the per-cluster shape
+/// the decomposition hands the enumerator, without decomposition cost).
+void run_e4d(std::size_t scale, const std::string& json_path) {
   using namespace xd;
+  const std::size_t cn = 1000;  // vertices per cluster
+  const std::size_t clusters = std::max<std::size_t>(1, scale / cn);
+  const std::size_t n = clusters * cn;
+  const auto p = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::cbrt(static_cast<double>(n)))));
+
+  Rng rng(271828);
+  GraphBuilder b(n);
+  std::vector<std::pair<EdgeId, EdgeId>> cluster_edge_range(clusters);
+  const double p_edge = 8.0 / static_cast<double>(cn);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const auto base = static_cast<VertexId>(c * cn);
+    const auto begin = static_cast<EdgeId>(b.num_edges());
+    for (VertexId i = 0; i < cn; ++i) {
+      for (VertexId j = i + 1; j < cn; ++j) {
+        if (rng.next_bool(p_edge)) b.add_edge(base + i, base + j);
+      }
+    }
+    cluster_edge_range[c] = {begin, static_cast<EdgeId>(b.num_edges())};
+  }
+  const Graph g = b.build();
+
+  std::vector<std::uint32_t> groups(n);
+  for (VertexId v = 0; v < n; ++v) {
+    groups[v] = static_cast<std::uint32_t>(rng.next_below(p));
+  }
+  std::vector<std::vector<EdgeId>> cluster_edges(clusters);
+  std::vector<std::vector<VertexId>> members(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (EdgeId e = cluster_edge_range[c].first;
+         e < cluster_edge_range[c].second; ++e) {
+      cluster_edges[c].push_back(e);
+    }
+    for (VertexId i = 0; i < cn; ++i) {
+      members[c].push_back(static_cast<VertexId>(c * cn + i));
+    }
+  }
+
+  // Seed arm: the reference plane plus the seed driver's per-cluster O(n)
+  // membership vectors.
+  const auto run_seed = [&] {
+    std::uint64_t tris = 0, demands = 0;
+    for (std::size_t c = 0; c < clusters; ++c) {
+      std::vector<char> in_cluster(n, 0);
+      std::vector<VertexId> to_local(n, 0);
+      for (std::size_t i = 0; i < members[c].size(); ++i) {
+        in_cluster[members[c][i]] = 1;
+        to_local[members[c][i]] = static_cast<VertexId>(i);
+      }
+      NullRouter router;
+      tris += triangle::enumerate_cluster_reference(g, cluster_edges[c],
+                                                    in_cluster, groups, p,
+                                                    router, to_local,
+                                                    members[c])
+                  .size();
+      demands += router.demands();
+    }
+    return std::pair{tris, demands};
+  };
+  // Flat arm: stamped arena membership + the flat tuple plane.
+  const auto run_flat = [&] {
+    std::uint64_t tris = 0, demands = 0;
+    auto& scratch = triangle::TriangleScratch::for_thread();
+    for (std::size_t c = 0; c < clusters; ++c) {
+      scratch.to_local.begin_epoch(n);
+      for (std::size_t i = 0; i < members[c].size(); ++i) {
+        scratch.to_local.put(members[c][i], static_cast<VertexId>(i));
+      }
+      NullRouter router;
+      tris += triangle::enumerate_cluster(g, cluster_edges[c], groups, p,
+                                          router, members[c], scratch)
+                  .size();
+      demands += router.demands();
+    }
+    return std::pair{tris, demands};
+  };
+
+  const auto [seed_tris, seed_demands] = run_seed();
+  const auto [flat_tris, flat_demands] = run_flat();  // also warms the arena
+  const bool exact =
+      seed_tris == flat_tris && seed_demands == flat_demands;
+
+  constexpr int kReps = 3;
+  double seed_ms = 0, flat_ms = 0;
+  for (int r = 0; r < kReps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    (void)run_seed();
+    const double s = ms_since(t0);
+    seed_ms = r == 0 ? s : std::min(seed_ms, s);
+    t0 = std::chrono::steady_clock::now();
+    (void)run_flat();
+    const double f = ms_since(t0);
+    flat_ms = r == 0 ? f : std::min(flat_ms, f);
+  }
+  // Steady-state arena accounting over one more full pass.
+  const auto warm = triangle::TriangleScratch::for_thread().to_local.stats();
+  (void)run_flat();
+  const auto after = triangle::TriangleScratch::for_thread().to_local.stats();
+
+  const double speedup = flat_ms > 0 ? seed_ms / flat_ms : 0.0;
+  Table e4d("E4d: proxy-join data plane, flat vs seed (wall clock)",
+            {"n", "clusters", "p", "edges", "triangles", "seed ms", "flat ms",
+             "speedup", "exact?"});
+  e4d.add_row({Table::cell(static_cast<std::uint64_t>(n)),
+               Table::cell(static_cast<std::uint64_t>(clusters)),
+               Table::cell(static_cast<std::uint64_t>(p)),
+               Table::cell(static_cast<std::uint64_t>(g.num_edges())),
+               Table::cell(flat_tris), Table::cell(seed_ms),
+               Table::cell(flat_ms), Table::cell(speedup),
+               exact ? "yes" : "NO"});
+  e4d.print();
+  std::cout << "scratch arena steady state: grown "
+            << after.grown - warm.grown << ", reused "
+            << after.reused - warm.reused << " (one epoch per cluster)\n\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"name\": \"bench_triangle\",\n"
+        << "  \"e4d\": {\n"
+        << "    \"scale\": " << n << ",\n"
+        << "    \"clusters\": " << clusters << ",\n"
+        << "    \"p\": " << p << ",\n"
+        << "    \"edges\": " << g.num_edges() << ",\n"
+        << "    \"triangles\": " << flat_tris << ",\n"
+        << "    \"demands\": " << flat_demands << ",\n"
+        << "    \"seed_ms\": " << seed_ms << ",\n"
+        << "    \"flat_ms\": " << flat_ms << ",\n"
+        << "    \"speedup\": " << speedup << ",\n"
+        << "    \"meets_3x_bar\": " << (speedup >= 3.0 ? "true" : "false")
+        << ",\n"
+        << "    \"scratch_grown_steady\": " << after.grown - warm.grown
+        << ",\n"
+        << "    \"scratch_reused_steady\": " << after.reused - warm.reused
+        << ",\n"
+        << "    \"exact\": " << (exact ? "true" : "false") << "\n"
+        << "  }\n"
+        << "}\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xd;
+  std::string json_path;
+  std::size_t scale = 100000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      const std::string arg = argv[++i];
+      try {
+        std::size_t pos = 0;
+        scale = static_cast<std::size_t>(std::stoull(arg, &pos));
+        if (pos != arg.size() || scale == 0) throw std::invalid_argument(arg);
+      } catch (const std::exception&) {
+        std::cerr << "bench_triangle: --scale wants a positive integer, got '"
+                  << arg << "'\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_triangle [--json PATH] [--scale N]\n";
+      return 2;
+    }
+  }
   Rng master(31337);
 
   Table e4a("E4a: G(n, 1/2) rounds by phase (CONGEST Thm2 vs DLP vs local)",
@@ -124,5 +330,7 @@ int main() {
     }
   }
   e4c.print();
+
+  run_e4d(scale, json_path);
   return 0;
 }

@@ -5,11 +5,12 @@
 #   bench/run_all.sh [--build-dir BUILD] [--out-dir OUT] [--quick] [names...]
 #
 # google-benchmark binaries (bench_kernel) emit native JSON; bench_expander
-# writes its own structured JSON (the E3d sequential-vs-scheduler round and
-# wall-clock comparison at 1/2/8 host threads); the remaining table-printing
-# benches are wrapped as {"name", "stdout"} JSON.  With --quick, only the
-# kernel bench runs (the acceptance metric for the round engine: flat
-# delivery >= 2x the seed nested path at 100k vertices).
+# and bench_triangle write their own structured JSON (the E3d sequential-vs-
+# scheduler comparison and the E4d flat-vs-seed proxy-join comparison at
+# 100k vertices, respectively); the remaining table-printing benches are
+# wrapped as {"name", "stdout"} JSON.  With --quick, only the kernel bench
+# runs (the acceptance metric for the round engine: flat delivery >= 2x the
+# seed nested path at 100k vertices).
 
 set -euo pipefail
 
@@ -52,10 +53,12 @@ for name in "${NAMES[@]}"; do
   fi
   out="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name -> $out" >&2
-  if [[ "$name" == bench_expander ]]; then
-    # bench_expander emits structured JSON itself: the E3d sequential-vs-
-    # scheduler comparison (rounds + wall-clock at 1/2/8 host threads).
-    # Tables still stream to the terminal for the human trail.
+  if [[ "$name" == bench_expander || "$name" == bench_triangle ]]; then
+    # These emit structured JSON themselves: the E3d sequential-vs-
+    # scheduler comparison (rounds + wall-clock at 1/2/8 host threads) and
+    # the E4d flat-vs-seed proxy-join comparison (acceptance: >= 3x at
+    # 100k scale).  Tables still stream to the terminal for the human
+    # trail.
     "$bin" --json "$out" >&2
   elif "$bin" --help 2>/dev/null | grep -q benchmark_format; then
     "$bin" --benchmark_format=json --benchmark_min_time=1 \

@@ -68,10 +68,13 @@
 #include "spectral/mixing.hpp"
 #include "spectral/sweep.hpp"
 #include "triangle/baseline_local.hpp"
+#include "triangle/bucket_join.hpp"
 #include "triangle/clique_dlp.hpp"
 #include "triangle/cluster_enum.hpp"
 #include "triangle/detect.hpp"
 #include "triangle/enumerate.hpp"
+#include "triangle/triple_rank.hpp"
 #include "util/rng.hpp"
+#include "util/scratch.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -1,7 +1,6 @@
 #include "spectral/lazy_walk.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "graph/graph_view.hpp"
 #include "util/check.hpp"
@@ -55,49 +54,63 @@ SparseDist SparseDist::point(VertexId v) {
 
 template <GraphAccess G>
 SparseDist truncated_step(const G& g, const SparseDist& p, double epsilon) {
-  // Pull-based and order-deterministic: each candidate u sums contributions
-  // from its in-neighbors in ascending sender id.  The distributed kernel
+  // Order-deterministic: each candidate u sums contributions from its
+  // in-neighbors in ascending sender id.  The distributed kernel
   // implementation sums its inbox in the same order, so the two paths agree
   // bit-for-bit (validated by DistributedNibble tests).  Determinism is
   // also what makes a GraphView run reproduce a materialized run exactly:
   // the renumbering is monotone, so every sort below induces the same
   // permutation either way.
-  std::unordered_map<VertexId, double> mass_of;
-  mass_of.reserve(p.size() * 2);
-  for (std::size_t i = 0; i < p.size(); ++i) mass_of[p.support[i]] = p.mass[i];
-
-  std::vector<VertexId> candidates;
-  candidates.reserve(p.size() * 4);
-  for (const VertexId v : p.support) {
-    candidates.push_back(v);
-    for (VertexId u : g.neighbors(v)) candidates.push_back(u);
+  //
+  // Flat plane: one (receiver, sender, share) triple per directed support
+  // edge, sorted by (receiver, sender).  The support is sorted, so each
+  // receiver's group arrives sender-sorted and the summation order matches
+  // the seed's sorted `incoming` exactly (FP-identical); candidate
+  // enumeration is the merge of the support with the grouped receivers --
+  // two pointer walks, no hash lookups.
+  struct Contribution {
+    VertexId to, from;
+    double share;
+  };
+  std::vector<Contribution> inflow;
+  inflow.reserve(p.size() * 4);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const VertexId v = p.support[i];
+    XD_CHECK_MSG(g.degree(v) > 0, "walk mass on an isolated vertex " << v);
+    const double share = p.mass[i] / (2.0 * g.degree(v));
+    for (VertexId u : g.neighbors(v)) {
+      if (u == v) continue;  // loop and masked slots retain mass below
+      inflow.push_back(Contribution{u, v, share});
+    }
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  std::sort(inflow.begin(), inflow.end(),
+            [](const Contribution& a, const Contribution& b) {
+              return a.to != b.to ? a.to < b.to : a.from < b.from;
+            });
 
   SparseDist out;
-  std::vector<std::pair<VertexId, double>> incoming;
-  for (const VertexId u : candidates) {
+  std::size_t si = 0;  // cursor into the sorted support
+  std::size_t ci = 0;  // cursor into the grouped inflow
+  while (si < p.size() || ci < inflow.size()) {
+    const VertexId u =
+        si < p.size() && (ci == inflow.size() || p.support[si] <= inflow[ci].to)
+            ? p.support[si]
+            : inflow[ci].to;
     const double deg_u = g.degree(u);
     XD_CHECK_MSG(deg_u > 0, "walk mass on an isolated vertex " << u);
-    incoming.clear();
-    double retained = 0.0;
-    if (const auto it = mass_of.find(u); it != mass_of.end()) {
-      // Lazy half plus loop (and masked) slots depositing back.
-      retained = it->second / 2.0 +
-                 static_cast<double>(g.loops_at(u)) * it->second / (2.0 * deg_u);
-    }
-    for (VertexId v : g.neighbors(u)) {
-      if (v == u) continue;
-      if (const auto it = mass_of.find(v); it != mass_of.end()) {
-        incoming.emplace_back(v, it->second / (2.0 * g.degree(v)));
-      }
-    }
-    std::sort(incoming.begin(), incoming.end());
     double m = 0.0;
-    for (const auto& [v, share] : incoming) m += share;
-    m += retained;
+    while (ci < inflow.size() && inflow[ci].to == u) {
+      m += inflow[ci].share;
+      ++ci;
+    }
+    if (si < p.size() && p.support[si] == u) {
+      // Lazy half plus loop (and masked) slots depositing back.
+      const double retained =
+          p.mass[si] / 2.0 +
+          static_cast<double>(g.loops_at(u)) * p.mass[si] / (2.0 * deg_u);
+      m += retained;
+      ++si;
+    }
     if (m >= 2.0 * epsilon * deg_u) {
       out.support.push_back(u);
       out.mass.push_back(m);

@@ -1,8 +1,6 @@
 #include "triangle/baseline_local.hpp"
 
 #include <algorithm>
-#include <set>
-#include <unordered_set>
 
 #include "util/check.hpp"
 
@@ -30,24 +28,52 @@ EnumerationResult enumerate_local_baseline(const Graph& g,
   ledger.count_messages(messages);
 
   // Detection: v knows N(v) and N(u) for each neighbor u; triangle
-  // {v, u, w} is visible at v whenever w ∈ N(v) ∩ N(u).
-  std::set<Triangle> found;
-  std::vector<std::unordered_set<VertexId>> adj(n);
+  // {v, u, w} is visible at v whenever w ∈ N(v) ∩ N(u).  Flat plane: one
+  // CSR of sorted, deduplicated neighbor lists (loops dropped), then a
+  // two-pointer merge intersection per oriented edge v < u.
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  std::vector<VertexId> adj;
+  adj.reserve(g.volume());
+  std::vector<VertexId> tmp;
   for (VertexId v = 0; v < n; ++v) {
+    tmp.clear();
     for (const VertexId u : g.neighbors(v)) {
-      if (u != v) adj[v].insert(u);
+      if (u != v) tmp.push_back(u);
     }
+    std::sort(tmp.begin(), tmp.end());
+    tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+    adj.insert(adj.end(), tmp.begin(), tmp.end());
+    offsets[v + 1] = static_cast<std::uint32_t>(adj.size());
   }
+
+  // v ascending, u ascending within N(v), w ascending within the
+  // intersection: triples are emitted in sorted order, and each triangle
+  // v < u < w is found exactly once (via its smallest edge (v, u)), so the
+  // output needs no dedup pass.
+  std::vector<Triangle> found;
   for (VertexId v = 0; v < n; ++v) {
-    for (const VertexId u : adj[v]) {
+    const VertexId* av_end = adj.data() + offsets[v + 1];
+    for (const VertexId* pu = adj.data() + offsets[v]; pu != av_end; ++pu) {
+      const VertexId u = *pu;
       if (u <= v) continue;
-      for (const VertexId w : adj[u]) {
-        if (w <= u) continue;
-        if (adj[v].count(w)) found.insert(Triangle{v, u, w});
+      const VertexId* x = pu + 1;  // N(v) entries > u
+      const VertexId* y = adj.data() + offsets[u];
+      const VertexId* y_end = adj.data() + offsets[u + 1];
+      y = std::upper_bound(y, y_end, u);
+      while (x != av_end && y != y_end) {
+        if (*x < *y) {
+          ++x;
+        } else if (*y < *x) {
+          ++y;
+        } else {
+          found.push_back(Triangle{v, u, *x});
+          ++x;
+          ++y;
+        }
       }
     }
   }
-  out.triangles.assign(found.begin(), found.end());
+  out.triangles = std::move(found);
   out.rounds = ledger.rounds() - before;
   return out;
 }

@@ -1,0 +1,75 @@
+#include "triangle/bucket_join.hpp"
+
+#include <algorithm>
+
+namespace xd::triangle {
+
+void join_proxy_buckets(std::vector<ProxyTuple>& tuples,
+                        const TripleRanker& ranker,
+                        const std::uint32_t* groups, JoinScratch& js,
+                        std::vector<Triangle>& out) {
+  if (tuples.empty()) return;
+  const std::uint64_t num_ranks = ranker.count();
+
+  // Order the plane by (rank, u, v).  The counting path pays an O(R)
+  // counter clear, so take it only when the plane is at least a constant
+  // fraction of the rank domain; sparse planes comparison-sort directly.
+  // Both paths produce the identical ordering.
+  if (tuples.size() * 4 >= num_ranks) {
+    js.counts.assign(num_ranks + 1, 0);
+    for (const ProxyTuple& t : tuples) ++js.counts[t.rank + 1];
+    for (std::uint64_t r = 0; r < num_ranks; ++r) {
+      js.counts[r + 1] += js.counts[r];
+    }
+    js.scatter.resize(tuples.size());
+    for (const ProxyTuple& t : tuples) js.scatter[js.counts[t.rank]++] = t;
+    tuples.swap(js.scatter);
+    // counts[r] now marks the end of bucket r; sort each span by (u, v).
+    std::size_t lo = 0;
+    for (std::uint64_t r = 0; r < num_ranks && lo < tuples.size(); ++r) {
+      const std::size_t hi = js.counts[r];
+      if (hi > lo + 1) std::sort(tuples.begin() + lo, tuples.begin() + hi);
+      lo = hi;
+    }
+  } else {
+    std::sort(tuples.begin(), tuples.end());
+  }
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+
+  // Wedge-probe join, one bucket span at a time.
+  const std::size_t n = tuples.size();
+  std::size_t lo = 0;
+  while (lo < n) {
+    const std::uint64_t rank = tuples[lo].rank;
+    std::size_t hi = lo;
+    while (hi < n && tuples[hi].rank == rank) ++hi;
+    // Runs sharing the smaller endpoint x are consecutive; every pair of
+    // run members (x, y), (x, z) with y < z is a wedge whose closing edge
+    // (y, z) -- if present -- lives past the run (y > x), still in-span.
+    std::size_t i = lo;
+    while (i < hi) {
+      const VertexId x = tuples[i].u;
+      std::size_t j = i;
+      while (j < hi && tuples[j].u == x) ++j;
+      for (std::size_t a = i; a < j; ++a) {
+        for (std::size_t b = a + 1; b < j; ++b) {
+          const VertexId y = tuples[a].v;
+          const VertexId z = tuples[b].v;
+          if (!std::binary_search(tuples.begin() + j, tuples.begin() + hi,
+                                  ProxyTuple{rank, y, z})) {
+            continue;
+          }
+          // Report only at the owning proxy (no duplicates across
+          // proxies).
+          if (ranker.rank(groups[x], groups[y], groups[z]) == rank) {
+            out.push_back(Triangle{x, y, z});
+          }
+        }
+      }
+      i = j;
+    }
+    lo = hi;
+  }
+}
+
+}  // namespace xd::triangle

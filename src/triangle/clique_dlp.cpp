@@ -2,29 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "triangle/bucket_join.hpp"
+#include "triangle/cluster_enum.hpp"
 #include "util/check.hpp"
 
 namespace xd::triangle {
 
 using congest::CliqueNetwork;
 using congest::Message;
-
-namespace {
-
-/// Sorted triple -> dense proxy index.
-std::uint64_t triple_key(std::uint32_t a, std::uint32_t b, std::uint32_t c,
-                         std::uint32_t p) {
-  std::array<std::uint32_t, 3> t{a, b, c};
-  std::sort(t.begin(), t.end());
-  return (static_cast<std::uint64_t>(t[0]) * p + t[1]) * p + t[2];
-}
-
-}  // namespace
 
 EnumerationResult enumerate_clique_dlp(const Graph& g,
                                        congest::RoundLedger& ledger) {
@@ -35,95 +21,54 @@ EnumerationResult enumerate_clique_dlp(const Graph& g,
 
   const auto p = static_cast<std::uint32_t>(
       std::max(1.0, std::ceil(std::cbrt(static_cast<double>(n)))));
-  auto group_of = [&](VertexId v) {
-    return static_cast<std::uint32_t>(
-        static_cast<std::uint64_t>(v) * p / n);
-  };
-  // Proxy host for a sorted triple: spread round-robin over the n vertices.
-  std::unordered_map<std::uint64_t, VertexId> host_of;
-  {
-    std::uint64_t next = 0;
-    for (std::uint32_t a = 0; a < p; ++a) {
-      for (std::uint32_t b = a; b < p; ++b) {
-        for (std::uint32_t c = b; c < p; ++c) {
-          host_of[triple_key(a, b, c, p)] =
-              static_cast<VertexId>(next++ % n);
-        }
-      }
-    }
+  const TripleRanker ranker(p);
+  std::vector<std::uint32_t> groups(n);
+  for (VertexId v = 0; v < n; ++v) {
+    groups[v] =
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) * p / n);
   }
+  // Proxy host for a sorted triple: spread round-robin over the n vertices
+  // in triple-rank order, i.e. host(rank) = rank mod n -- pure arithmetic,
+  // no host table.
 
   CliqueNetwork net(n, ledger);
+  auto& scratch = TriangleScratch::for_thread();
+  auto& tuples = scratch.tuples;
+  tuples.clear();
 
   // Ship every edge (sender: min endpoint) to the proxies of every triple
-  // containing its group pair.  Message: tag = triple key low bits unusable
-  // -- pack edge endpoints in words, triple key in tag is too small, so
-  // words[1] carries the key.
+  // containing its group pair; the same pass stages the local bucket plane
+  // (identical to re-deriving the targets at each host -- the exchange
+  // below charges the rounds for the shipped part).  Message payload:
+  // endpoints packed in words[0], proxy rank in words[1].
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const auto [u, v] = g.edge(e);
     if (u == v) continue;
     const VertexId sender = std::min(u, v);
-    const std::uint32_t gu = group_of(u);
-    const std::uint32_t gv = group_of(v);
-    std::set<std::uint64_t> targets;
+    const std::uint32_t gu = groups[u];
+    const std::uint32_t gv = groups[v];
+    // Ranks over {gu, gv, c} ascend with c (multiset monotonicity), so the
+    // send order matches the seed's sorted-key iteration exactly.
     for (std::uint32_t c = 0; c < p; ++c) {
-      targets.insert(triple_key(gu, gv, c, p));
-    }
-    for (const std::uint64_t key : targets) {
-      const VertexId host = host_of[key];
+      const std::uint64_t rank = ranker.rank(gu, gv, c);
+      tuples.push_back(ProxyTuple{rank, sender, std::max(u, v)});
+      const auto host = static_cast<VertexId>(rank % n);
       if (host == sender) continue;  // local knowledge, no message needed
       net.send(sender, host,
                Message{/*tag=*/1, (static_cast<std::uint64_t>(u) << 32) | v,
-                       key});
+                       rank});
     }
   }
   net.exchange_lenzen("DLP/ship-edges");
 
-  // Proxy bucket contents: what was shipped plus each host's local edges
-  // (identical to re-deriving the targets; the exchange above already
-  // charged the rounds for the shipped part).
-  std::map<std::uint64_t, std::vector<std::pair<VertexId, VertexId>>> buckets;
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto [u, v] = g.edge(e);
-    if (u == v) continue;
-    const std::uint32_t gu = group_of(u);
-    const std::uint32_t gv = group_of(v);
-    std::set<std::uint64_t> targets;
-    for (std::uint32_t c = 0; c < p; ++c) {
-      targets.insert(triple_key(gu, gv, c, p));
-    }
-    for (const std::uint64_t key : targets) {
-      buckets[key].emplace_back(std::min(u, v), std::max(u, v));
-    }
-  }
+  // Join per proxy triple over the flat plane (bucket_join.hpp); the
+  // ownership rule keeps the output duplicate-free across proxies.
+  std::vector<Triangle> found;
+  join_proxy_buckets(tuples, ranker, groups.data(), scratch.join, found);
+  std::sort(found.begin(), found.end());
+  found.erase(std::unique(found.begin(), found.end()), found.end());
 
-  // Join per proxy triple.
-  std::set<Triangle> found;
-  for (auto& [key, edges] : buckets) {
-    std::unordered_map<VertexId, std::vector<VertexId>> adj;
-    std::unordered_set<std::uint64_t> present;
-    for (const auto& [x, y] : edges) {
-      adj[x].push_back(y);
-      adj[y].push_back(x);
-      present.insert((static_cast<std::uint64_t>(x) << 32) | y);
-    }
-    for (const auto& [x, y] : edges) {
-      // Candidates adjacent to x above y.
-      for (const VertexId z : adj[y]) {
-        if (z <= y) continue;
-        const std::uint64_t probe = (static_cast<std::uint64_t>(x) << 32) | z;
-        if (present.count(probe)) {
-          // Only report if this proxy owns the triple of the triangle's
-          // groups (prevents duplicates across proxies).
-          if (triple_key(group_of(x), group_of(y), group_of(z), p) == key) {
-            found.insert(Triangle{x, y, z});
-          }
-        }
-      }
-    }
-  }
-
-  out.triangles.assign(found.begin(), found.end());
+  out.triangles = std::move(found);
   out.rounds = ledger.rounds() - before;
   return out;
 }

@@ -18,6 +18,15 @@
 /// joins its buckets.  All traffic moves through the cluster's expander
 /// Router (each vertex sources/sinks O(deg) messages per routing query, so
 /// the batch needs Õ(n^{1/3}) queries -- Theorem 2's budget).
+///
+/// Data plane (docs/triangle.md): proxies are identified by the O(1)
+/// combinatorial rank of their sorted triple (triple_rank.hpp), the bucket
+/// store is one flat (rank, u, v) tuple vector grouped by a single sort,
+/// and each bucket joins over a bucket-local CSR with two-pointer
+/// sorted-neighbor intersection (bucket_join.hpp).  All ambient-sized
+/// scratch is epoch-stamped and reused across clusters and levels
+/// (TriangleScratch).  The seed's node-based plane is retained as
+/// enumerate_cluster_reference for differential tests and benches.
 
 #include <cstdint>
 #include <vector>
@@ -25,25 +34,57 @@
 #include "congest/ledger.hpp"
 #include "graph/graph.hpp"
 #include "routing/router.hpp"
+#include "triangle/bucket_join.hpp"
 #include "triangle/clique_dlp.hpp"
 #include "util/rng.hpp"
+#include "util/scratch.hpp"
 
 namespace xd::triangle {
 
+/// Per-thread reusable storage for the flat cluster data plane.  One
+/// instance serves every cluster and level a thread processes: the
+/// ambient-indexed map is stamped (O(1) logical clears, util/scratch.hpp)
+/// and the flat buffers keep their capacity, so the steady state performs
+/// zero per-cluster O(n) allocations (pinned by a regression test).
+struct TriangleScratch {
+  /// Ambient -> cluster-local vertex id; contains(v) doubles as the
+  /// in-cluster flag.  Callers stamp a fresh epoch and fill it with the
+  /// cluster's members before enumerate_cluster.
+  util::StampedMap<VertexId> to_local;
+  std::vector<ProxyTuple> tuples;  ///< the flat (rank, u, v) plane
+  std::vector<routing::Demand> demands;
+  JoinScratch join;
+
+  /// The calling thread's arena.  Scheduler work items are thread-disjoint
+  /// (scheduler.hpp), so per-thread reuse is race-free at any thread count.
+  static TriangleScratch& for_thread();
+};
+
 /// Enumerates every triangle of `ambient` whose three edges all lie in
-/// `edge_ids` (the cluster's E_i), where `in_cluster` flags V_i membership.
+/// `edge_ids` (the cluster's E_i).  `scratch.to_local` must hold exactly
+/// the cluster's members, mapped to their positions in `cluster_vertices`.
 ///
-/// \param groups    per-vertex group id in [0, p); the driver samples one
-///                  assignment per recursion level and shares it across
-///                  clusters
-/// \param p         group count (⌈n^{1/3}⌉ at the top level)
-/// \param router    preprocessed Router over the cluster subgraph
-/// \param to_local  ambient -> cluster-subgraph vertex ids (for routing)
+/// \param groups  per-vertex group id in [0, p); the driver samples one
+///                assignment per recursion level and shares it across
+///                clusters
+/// \param p       group count (⌈n^{1/3}⌉ at the top level)
+/// \param router  preprocessed Router over the cluster subgraph
 std::vector<Triangle> enumerate_cluster(
     const Graph& ambient, const std::vector<EdgeId>& edge_ids,
-    const std::vector<char>& in_cluster, const std::vector<std::uint32_t>& groups,
-    std::uint32_t p, routing::Router& router,
-    const std::vector<VertexId>& to_local,
+    const std::vector<std::uint32_t>& groups, std::uint32_t p,
+    routing::Router& router, const std::vector<VertexId>& cluster_vertices,
+    TriangleScratch& scratch);
+
+/// The seed's node-based data plane (hashed host table, std::map buckets,
+/// per-bucket hash join, O(n) membership vectors), retained verbatim as
+/// the differential-testing oracle and the bench_triangle flat-vs-seed
+/// baseline.  Semantics -- outputs and the demand stream handed to
+/// `router` -- are identical to enumerate_cluster.
+std::vector<Triangle> enumerate_cluster_reference(
+    const Graph& ambient, const std::vector<EdgeId>& edge_ids,
+    const std::vector<char>& in_cluster,
+    const std::vector<std::uint32_t>& groups, std::uint32_t p,
+    routing::Router& router, const std::vector<VertexId>& to_local,
     const std::vector<VertexId>& cluster_vertices);
 
 }  // namespace xd::triangle

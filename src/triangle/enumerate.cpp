@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <set>
 
 #include "congest/network.hpp"
 #include "congest/scheduler.hpp"
@@ -31,6 +30,12 @@ struct EdgeSubgraph {
 EdgeSubgraph subgraph_of_edges(const Graph& g, const std::vector<EdgeId>& edges) {
   EdgeSubgraph out;
   out.from_parent.assign(g.num_vertices(), static_cast<VertexId>(-1));
+  out.to_parent.reserve(std::min<std::size_t>(2 * edges.size(), g.num_vertices()));
+  out.edge_to_parent.reserve(edges.size());
+  // One pass over the edge list: assign local ids at first sight and record
+  // each edge's local endpoints for the builder.
+  std::vector<std::pair<VertexId, VertexId>> local_edges;
+  local_edges.reserve(edges.size());
   for (const EdgeId e : edges) {
     const auto [u, v] = g.edge(e);
     for (const VertexId x : {u, v}) {
@@ -39,15 +44,24 @@ EdgeSubgraph subgraph_of_edges(const Graph& g, const std::vector<EdgeId>& edges)
         out.to_parent.push_back(x);
       }
     }
-  }
-  GraphBuilder b(out.to_parent.size(), /*allow_parallel=*/true);
-  for (const EdgeId e : edges) {
-    const auto [u, v] = g.edge(e);
-    b.add_edge(out.from_parent[u], out.from_parent[v]);
+    local_edges.emplace_back(out.from_parent[u], out.from_parent[v]);
     out.edge_to_parent.push_back(e);
   }
+  GraphBuilder b(out.to_parent.size(), /*allow_parallel=*/true);
+  for (const auto& [lu, lv] : local_edges) b.add_edge(lu, lv);
   out.graph = b.build();
   return out;
+}
+
+/// Merges a level's (unsorted concatenation of per-cluster sorted) batch
+/// into the running sorted, deduplicated triangle list -- the flat
+/// replacement for the seed's global std::set.
+void merge_triangles(std::vector<Triangle>& found, std::vector<Triangle>& batch) {
+  std::sort(batch.begin(), batch.end());
+  const auto mid = static_cast<std::ptrdiff_t>(found.size());
+  found.insert(found.end(), batch.begin(), batch.end());
+  std::inplace_merge(found.begin(), found.begin() + mid, found.end());
+  found.erase(std::unique(found.begin(), found.end()), found.end());
 }
 
 }  // namespace
@@ -61,7 +75,7 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
   const auto p_global = static_cast<std::uint32_t>(std::max(
       1.0, std::ceil(std::cbrt(static_cast<double>(g.num_vertices())))));
 
-  std::set<Triangle> found;
+  std::vector<Triangle> found;  // sorted + deduplicated between levels
   std::vector<EdgeId> current;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!g.is_loop(e)) current.push_back(e);
@@ -149,11 +163,13 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
       const GraphView cluster_view(sub.graph, nullptr, VertexSet(members[c]));
       const LiveSubgraph cluster_sub = cluster_view.materialize_induced();
 
-      std::vector<char> in_cluster(g.num_vertices(), 0);
-      std::vector<VertexId> to_local(g.num_vertices(), 0);
+      // Membership and ambient->local ids live in the worker thread's
+      // stamped arena: an O(1) epoch bump replaces the seed's two O(n)
+      // vectors per cluster.
+      auto& scratch = TriangleScratch::for_thread();
+      scratch.to_local.begin_epoch(g.num_vertices());
       for (std::size_t i = 0; i < ambient_members.size(); ++i) {
-        in_cluster[ambient_members[i]] = 1;
-        to_local[ambient_members[i]] = static_cast<VertexId>(i);
+        scratch.to_local.put(ambient_members[i], static_cast<VertexId>(i));
       }
 
       if (cluster_view.num_nonloop_edges() == 0 ||
@@ -169,26 +185,23 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
         hp.tau_mix = 1;
         routing::HierarchicalRouter local(cluster_sub.graph, lg, hp);
         local.preprocess();
-        res.tris =
-            enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
-                              p_global, local, to_local, ambient_members);
+        res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
+                                     local, ambient_members, scratch);
         res.queries = local.queries();
       } else if (prm.hierarchical_router) {
         routing::HierarchicalParams hp;
         hp.depth = prm.router_depth;
         routing::HierarchicalRouter router(cluster_sub.graph, lg, hp);
         router.preprocess();
-        res.tris =
-            enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
-                              p_global, router, to_local, ambient_members);
+        res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
+                                     router, ambient_members, scratch);
         res.queries = router.queries();
       } else {
         congest::Network cluster_net(cluster_sub.graph, lg, crng());
         routing::TreeRouter router(cluster_net);
         router.preprocess();
-        res.tris =
-            enumerate_cluster(g, cluster_edges[c], in_cluster, groups,
-                              p_global, router, to_local, ambient_members);
+        res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
+                                     router, ambient_members, scratch);
         res.queries = router.queries();
       }
       return res;
@@ -207,23 +220,28 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
         cluster_out[i] = run_cluster(todo[i], item_rngs[i], ledger);
       }
     }
+    // Each cluster's output is already sorted; one merge per level folds
+    // them into the running list (no per-triangle std::set node churn).
+    std::vector<Triangle> level_tris;
     for (std::size_t i = 0; i < todo.size(); ++i) {
       ++out.clusters_processed;
       out.router_queries += cluster_out[i].queries;
-      found.insert(cluster_out[i].tris.begin(), cluster_out[i].tris.end());
+      level_tris.insert(level_tris.end(), cluster_out[i].tris.begin(),
+                        cluster_out[i].tris.end());
     }
+    merge_triangles(found, level_tris);
 
     // --- 4. Recurse on E*. ---
     if (estar.size() >= current.size()) {
       // No shrink (pathological split): finish the remainder as one
       // cluster to guarantee termination.
       const EdgeSubgraph rest = subgraph_of_edges(g, estar);
-      std::vector<char> all(g.num_vertices(), 0);
-      std::vector<VertexId> to_local(g.num_vertices(), 0);
+      auto& scratch = TriangleScratch::for_thread();
+      scratch.to_local.begin_epoch(g.num_vertices());
       std::vector<VertexId> ambient_members;
+      ambient_members.reserve(rest.to_parent.size());
       for (std::size_t i = 0; i < rest.to_parent.size(); ++i) {
-        all[rest.to_parent[i]] = 1;
-        to_local[rest.to_parent[i]] = static_cast<VertexId>(i);
+        scratch.to_local.put(rest.to_parent[i], static_cast<VertexId>(i));
         ambient_members.push_back(rest.to_parent[i]);
       }
       routing::HierarchicalParams hp;
@@ -231,9 +249,9 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
       hp.tau_mix = std::max<std::uint32_t>(diameter_double_sweep(rest.graph), 1);
       routing::HierarchicalRouter router(rest.graph, ledger, hp);
       router.preprocess();
-      const auto tris = enumerate_cluster(g, estar, all, groups, p_global,
-                                          router, to_local, ambient_members);
-      found.insert(tris.begin(), tris.end());
+      auto tris = enumerate_cluster(g, estar, groups, p_global, router,
+                                    ambient_members, scratch);
+      merge_triangles(found, tris);
       out.router_queries += router.queries();
       current.clear();
       break;
@@ -241,7 +259,7 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
     current = std::move(estar);
   }
 
-  out.triangles.assign(found.begin(), found.end());
+  out.triangles = std::move(found);
   out.rounds = ledger.rounds() - before;
   return out;
 }

@@ -163,26 +163,29 @@ TEST(Golden, SchedulerRoundAccountingPins) {
 
 TEST(Golden, SchedulerTriangleEnumerationPins) {
   // Same graph/seed as TriangleEnumerationMatchesSeedKernel, run under the
-  // cluster scheduler: identical triangles, rounds <= the sequential pin.
-  Rng rng(31);
-  const Graph g = gen::gnp(60, 0.2, rng);
-  congest::RoundLedger ledger;
-  Rng arng(17);
-  triangle::EnumParams prm;
-  prm.hierarchical_router = false;
-  prm.scheduler_threads = 2;
-  const auto r = triangle::enumerate_congest(g, prm, arng, ledger);
-  std::uint64_t h = 0;
-  for (const auto& t : r.triangles) {
-    h = mix(h, t[0]);
-    h = mix(h, t[1]);
-    h = mix(h, t[2]);
+  // cluster scheduler at every pinned thread count: identical triangles,
+  // rounds <= the sequential pin.
+  for (const int threads : {1, 2, 8}) {
+    Rng rng(31);
+    const Graph g = gen::gnp(60, 0.2, rng);
+    congest::RoundLedger ledger;
+    Rng arng(17);
+    triangle::EnumParams prm;
+    prm.hierarchical_router = false;
+    prm.scheduler_threads = threads;
+    const auto r = triangle::enumerate_congest(g, prm, arng, ledger);
+    std::uint64_t h = 0;
+    for (const auto& t : r.triangles) {
+      h = mix(h, t[0]);
+      h = mix(h, t[1]);
+      h = mix(h, t[2]);
+    }
+    EXPECT_EQ(h, 2309664143457515940ULL) << "threads=" << threads;
+    EXPECT_EQ(r.triangles.size(), 240u) << "threads=" << threads;
+    // This dense G(n,p) is an expander: each level keeps one cluster, so
+    // the per-epoch max equals the sequential sum here.
+    EXPECT_EQ(r.rounds, 3445u) << "threads=" << threads;
   }
-  EXPECT_EQ(h, 2309664143457515940ULL);
-  EXPECT_EQ(r.triangles.size(), 240u);
-  // This dense G(n,p) is an expander: each level keeps one cluster, so the
-  // per-epoch max equals the sequential sum here.
-  EXPECT_EQ(r.rounds, 3445u);
 }
 
 TEST(Golden, TreeRouterMatchesSeedKernel) {

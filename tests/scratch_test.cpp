@@ -1,0 +1,85 @@
+#include "util/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "triangle/triple_rank.hpp"
+
+namespace xd {
+namespace {
+
+TEST(StampedMap, EpochIsolatesEntries) {
+  util::StampedMap<std::uint32_t> m;
+  m.begin_epoch(8);
+  EXPECT_FALSE(m.contains(3));
+  m.put(3, 42);
+  m.put(7, 9);
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_EQ(m.at(3), 42u);
+  EXPECT_EQ(m.at(7), 9u);
+
+  // A new epoch logically clears every key without touching the slab.
+  m.begin_epoch(8);
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_FALSE(m.contains(7));
+  m.put(3, 1);
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_EQ(m.at(3), 1u);
+}
+
+TEST(StampedMap, GrowthAndReuseAccounting) {
+  util::StampedMap<char> m;
+  EXPECT_EQ(m.stats().grown, 0u);
+  EXPECT_EQ(m.stats().reused, 0u);
+
+  m.begin_epoch(100);  // first epoch allocates
+  EXPECT_EQ(m.stats().grown, 1u);
+  EXPECT_EQ(m.stats().reused, 0u);
+
+  m.begin_epoch(100);  // same size: reuse
+  m.begin_epoch(40);   // smaller: reuse
+  EXPECT_EQ(m.stats().grown, 1u);
+  EXPECT_EQ(m.stats().reused, 2u);
+
+  m.begin_epoch(200);  // larger: grows once more
+  EXPECT_EQ(m.stats().grown, 2u);
+  EXPECT_EQ(m.stats().reused, 2u);
+
+  m.begin_epoch(150);  // below the high-water mark: reuse again
+  EXPECT_EQ(m.stats().grown, 2u);
+  EXPECT_EQ(m.stats().reused, 3u);
+}
+
+TEST(StampedMap, StaleStampsNeverReadAsCurrentAfterGrowth) {
+  util::StampedMap<int> m;
+  m.begin_epoch(4);
+  m.put(2, 5);
+  m.begin_epoch(16);  // growth rewrites the stamp slab
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_FALSE(m.contains(i));
+}
+
+TEST(TripleRanker, MatchesLexicographicEnumeration) {
+  for (const std::uint32_t p : {1u, 2u, 3u, 5u, 8u, 47u}) {
+    const triangle::TripleRanker ranker(p);
+    std::uint64_t expected = 0;
+    for (std::uint32_t a = 0; a < p; ++a) {
+      for (std::uint32_t b = a; b < p; ++b) {
+        for (std::uint32_t c = b; c < p; ++c) {
+          ASSERT_EQ(ranker.rank_sorted(a, b, c), expected)
+              << "p=" << p << " (" << a << "," << b << "," << c << ")";
+          // rank() sorts its arguments.
+          ASSERT_EQ(ranker.rank(c, a, b), expected);
+          ASSERT_EQ(ranker.rank(b, c, a), expected);
+          ++expected;
+        }
+      }
+    }
+    EXPECT_EQ(ranker.count(), expected) << "p=" << p;
+    // C(p+2, 3).
+    EXPECT_EQ(ranker.count(),
+              static_cast<std::uint64_t>(p) * (p + 1) * (p + 2) / 6);
+  }
+}
+
+}  // namespace
+}  // namespace xd

@@ -6,6 +6,7 @@
 #include "graph/metrics.hpp"
 #include "triangle/baseline_local.hpp"
 #include "triangle/clique_dlp.hpp"
+#include "triangle/cluster_enum.hpp"
 #include "util/check.hpp"
 
 namespace xd::triangle {
@@ -16,6 +17,24 @@ std::vector<Triangle> ground_truth(const Graph& g) {
   std::sort(tris.begin(), tris.end());
   return tris;
 }
+
+/// Test double that records the exact demand stream instead of routing --
+/// the flat plane must hand the router a bit-identical batch sequence.
+class RecordingRouter : public routing::Router {
+ public:
+  std::uint64_t preprocess() override { return 0; }
+  std::uint64_t route(const std::vector<routing::Demand>& demands) override {
+    for (const auto& d : demands) log.push_back({d.src, d.dst, d.count});
+    ++queries_;
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t queries() const override { return queries_; }
+
+  std::vector<std::tuple<VertexId, VertexId, std::uint32_t>> log;
+
+ private:
+  std::uint64_t queries_ = 0;
+};
 
 TEST(LocalBaseline, ExactOnGnp) {
   Rng rng(1);
@@ -144,6 +163,94 @@ TEST(CongestEnum, RejectsOversizedEpsilon) {
   EnumParams prm;
   prm.epsilon = 0.5;  // CPZ needs <= 1/6
   EXPECT_THROW((void)enumerate_congest(g, prm, rng, ledger), CheckError);
+}
+
+// Property grid for the flat data plane: random graphs x group counts x
+// cluster splits, comparing flat enumerate_cluster against the retained
+// seed reference -- identical triangles AND an identical demand stream.
+TEST(ClusterEnum, FlatMatchesReferenceAcrossGrid) {
+  for (const int seed : {1, 2, 3}) {
+    Rng grng(seed * 101);
+    const Graph g = gen::gnp(48, 0.25, grng);
+    const std::size_t n = g.num_vertices();
+    for (const std::uint32_t p : {1u, 2u, 3u, 5u}) {
+      std::vector<std::uint32_t> groups(n);
+      Rng prng(seed * 7 + p);
+      for (VertexId v = 0; v < n; ++v) {
+        groups[v] = static_cast<std::uint32_t>(prng.next_below(p));
+      }
+      for (const std::uint32_t k : {1u, 2u, 3u}) {  // cluster splits
+        for (std::uint32_t c = 0; c < k; ++c) {
+          std::vector<VertexId> members;
+          std::vector<char> in_cluster(n, 0);
+          std::vector<VertexId> to_local_vec(n, 0);
+          for (VertexId v = 0; v < n; ++v) {
+            if (v % k != c) continue;
+            in_cluster[v] = 1;
+            to_local_vec[v] = static_cast<VertexId>(members.size());
+            members.push_back(v);
+          }
+          std::vector<EdgeId> edge_ids;  // the cluster's E_i
+          for (EdgeId e = 0; e < g.num_edges(); ++e) {
+            const auto [u, v] = g.edge(e);
+            if (u == v) continue;
+            if (in_cluster[u] || in_cluster[v]) edge_ids.push_back(e);
+          }
+
+          RecordingRouter ref_router;
+          const auto ref =
+              enumerate_cluster_reference(g, edge_ids, in_cluster, groups, p,
+                                          ref_router, to_local_vec, members);
+
+          auto& scratch = TriangleScratch::for_thread();
+          scratch.to_local.begin_epoch(n);
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            scratch.to_local.put(members[i], static_cast<VertexId>(i));
+          }
+          RecordingRouter flat_router;
+          const auto flat = enumerate_cluster(g, edge_ids, groups, p,
+                                              flat_router, members, scratch);
+
+          ASSERT_EQ(flat, ref) << "seed=" << seed << " p=" << p << " k=" << k
+                               << " c=" << c;
+          ASSERT_EQ(flat_router.log, ref_router.log)
+              << "seed=" << seed << " p=" << p << " k=" << k << " c=" << c;
+          if (k == 1) {
+            // One cluster covering everything must enumerate exactly.
+            ASSERT_EQ(flat, ground_truth(g)) << "seed=" << seed << " p=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The arena must serve every cluster from retained storage: after a warmup
+// run at this ambient size, a full enumeration performs zero O(n)
+// allocations -- every stamped epoch is a reuse hit.
+TEST(ClusterEnum, ScratchArenaReusedAcrossClustersAndLevels) {
+  // 79 clusters across 2 recursion levels at these seeds -- a real
+  // multi-cluster, multi-level workload for the arena.
+  const Graph g = gen::clique_chain(40, 7);
+  const auto run = [&g] {
+    Rng rng(19);
+    congest::RoundLedger ledger;
+    EnumParams prm;
+    return enumerate_congest(g, prm, rng, ledger);
+  };
+
+  (void)run();  // warm the calling thread's arena at ambient size n
+  const auto warm = TriangleScratch::for_thread().to_local.stats();
+
+  const auto res = run();
+  const auto after = TriangleScratch::for_thread().to_local.stats();
+  EXPECT_EQ(res.clusters_processed, 79u);
+  EXPECT_EQ(res.levels, 2);
+  EXPECT_EQ(after.grown - warm.grown, 0u);  // zero per-cluster O(n) allocs
+  // Exactly one stamped epoch per enumerated cluster, every one a reuse
+  // hit served from the retained slab.
+  EXPECT_EQ(after.reused - warm.reused, res.clusters_processed);
+  EXPECT_EQ(ground_truth(g).size(), res.triangles.size());
 }
 
 TEST(CongestEnum, ReportsDiagnostics) {
