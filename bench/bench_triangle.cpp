@@ -211,6 +211,8 @@ int main(int argc, char** argv) {
       const std::string arg = argv[++i];
       try {
         std::size_t pos = 0;
+        // stoull would wrap a leading '-'; reject it explicitly.
+        if (arg.empty() || arg[0] == '-') throw std::invalid_argument(arg);
         scale = static_cast<std::size_t>(std::stoull(arg, &pos));
         if (pos != arg.size() || scale == 0) throw std::invalid_argument(arg);
       } catch (const std::exception&) {
@@ -317,15 +319,22 @@ int main(int argc, char** argv) {
     Rng rg = master.fork(999);
     const Graph g = gen::gnp(100, 0.5, rg);
     const auto expect = triangle_count_exact(g);
-    for (const bool hierarchical : {true, false}) {
-      Rng rng = master.fork(960 + hierarchical);
+    // Seeds preserve the pre-selector streams: the bool backend flag
+    // forked 960 + hierarchical (tree = 960, charged = 961); the new
+    // simulated backend takes the next stream.
+    const std::tuple<triangle::RouterBackend, const char*, int> backends[] = {
+        {triangle::RouterBackend::kCharged, "GKS hierarchical (model)", 961},
+        {triangle::RouterBackend::kTree, "TreeRouter (simulated)", 960},
+        {triangle::RouterBackend::kHierarchicalSim,
+         "GKS hierarchical (simulated)", 962}};
+    for (const auto& [backend, label, seed] : backends) {
+      Rng rng = master.fork(seed);
       congest::RoundLedger ledger;
       triangle::EnumParams prm;
-      prm.hierarchical_router = hierarchical;
+      prm.backend = backend;
       const auto res = triangle::enumerate_congest(g, prm, rng, ledger);
-      e4c.add_row({hierarchical ? "GKS hierarchical (model)"
-                                : "TreeRouter (simulated)",
-                   Table::cell(res.rounds), Table::cell(res.router_queries),
+      e4c.add_row({label, Table::cell(res.rounds),
+                   Table::cell(res.router_queries),
                    res.triangles.size() == expect ? "yes" : "NO"});
     }
   }

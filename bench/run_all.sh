@@ -4,13 +4,14 @@
 #
 #   bench/run_all.sh [--build-dir BUILD] [--out-dir OUT] [--quick] [names...]
 #
-# google-benchmark binaries (bench_kernel) emit native JSON; bench_expander
-# and bench_triangle write their own structured JSON (the E3d sequential-vs-
-# scheduler comparison and the E4d flat-vs-seed proxy-join comparison at
-# 100k vertices, respectively); the remaining table-printing benches are
-# wrapped as {"name", "stdout"} JSON.  With --quick, only the kernel bench
-# runs (the acceptance metric for the round engine: flat delivery >= 2x the
-# seed nested path at 100k vertices).
+# google-benchmark binaries (bench_kernel) emit native JSON; bench_expander,
+# bench_triangle, and bench_routing write their own structured JSON (the E3d
+# sequential-vs-scheduler comparison, the E4d flat-vs-seed proxy-join
+# comparison at 100k vertices, and the E5c simulated-vs-charged GKS curve
+# plus the E5d flat-vs-map drain at 100k messages, respectively); the
+# remaining table-printing benches are wrapped as {"name", "stdout"} JSON.
+# With --quick, only the kernel bench runs (the acceptance metric for the
+# round engine: flat delivery >= 2x the seed nested path at 100k vertices).
 
 set -euo pipefail
 
@@ -53,12 +54,14 @@ for name in "${NAMES[@]}"; do
   fi
   out="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name -> $out" >&2
-  if [[ "$name" == bench_expander || "$name" == bench_triangle ]]; then
+  if [[ "$name" == bench_expander || "$name" == bench_triangle ||
+        "$name" == bench_routing ]]; then
     # These emit structured JSON themselves: the E3d sequential-vs-
-    # scheduler comparison (rounds + wall-clock at 1/2/8 host threads) and
+    # scheduler comparison (rounds + wall-clock at 1/2/8 host threads),
     # the E4d flat-vs-seed proxy-join comparison (acceptance: >= 3x at
-    # 100k scale).  Tables still stream to the terminal for the human
-    # trail.
+    # 100k scale), and the E5c/E5d routing comparisons (simulated GKS vs
+    # charged model; flat arena >= 3x the map drain at 100k messages).
+    # Tables still stream to the terminal for the human trail.
     "$bin" --json "$out" >&2
   elif "$bin" --help 2>/dev/null | grep -q benchmark_format; then
     "$bin" --benchmark_format=json --benchmark_min_time=1 \

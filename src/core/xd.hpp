@@ -55,7 +55,9 @@
 #include "primitives/forest.hpp"
 #include "primitives/sampling.hpp"
 #include "routing/hierarchical_router.hpp"
+#include "routing/queue_arena.hpp"
 #include "routing/router.hpp"
+#include "routing/simulated_router.hpp"
 #include "routing/tree_router.hpp"
 #include "sparsecut/distributed_nibble.hpp"
 #include "sparsecut/nibble.hpp"

@@ -11,8 +11,12 @@
 /// stay polylog, which is exactly what the triangle algorithm needs.
 ///
 /// This backend charges those formulas with a measured τ_mix and validates /
-/// delivers the demands logically (the fully simulated TreeRouter
-/// cross-checks the model; see docs/rounds.md on charged cost models).
+/// delivers the demands logically.  It is the E5 oracle: the fully
+/// simulated backends -- TreeRouter and SimulatedHierarchicalRouter (the
+/// GKS structure actually built on the round engine,
+/// simulated_router.hpp) -- cross-check the model, and the tests pin their
+/// measured rounds below these charged bounds (see docs/routing.md on
+/// charged vs simulated cost derivation).
 
 #include "congest/ledger.hpp"
 #include "routing/router.hpp"

@@ -14,14 +14,20 @@
 ///                   (hierarchy + portals; GKS Lemmas 3.2, 3.3), β = m^{1/k}
 ///   per query:      (log n)^{O(k)} · τ_mix        (GKS Lemma 3.4)
 ///
-/// Two backends (docs/rounds.md documents the charged-model-vs-simulated
+/// Three backends (docs/routing.md documents the charged-model-vs-simulated
 /// substitution):
 ///   * HierarchicalRouter -- charges those formulas with measured τ_mix and
 ///     validates/delivers demands logically: reproduces the exact trade-off
-///     curve of the paper (experiment E5);
+///     curve of the paper (experiment E5a);
 ///   * TreeRouter -- O(log n) random-root BFS trees, store-and-forward with
 ///     per-edge FIFO queues, fully simulated: a real router whose measured
-///     makespan cross-checks the τ_mix-dominated cost claims.
+///     makespan cross-checks the τ_mix-dominated cost claims (E5b);
+///   * SimulatedHierarchicalRouter -- the GKS hierarchy actually built on
+///     the round engine (β-way edge-partition levels, lazy-walk portal
+///     embedding, portal-relay delivery): measured preprocessing/query
+///     rounds overlaid on the charged curve (E5c).
+/// Both simulated backends drain through the flat QueueArena
+/// (queue_arena.hpp).
 
 #include <cstdint>
 #include <vector>

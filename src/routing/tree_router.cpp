@@ -1,8 +1,6 @@
 #include "routing/tree_router.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
 
 #include "util/check.hpp"
 
@@ -32,15 +30,18 @@ std::uint64_t TreeRouter::preprocess() {
   return net_->ledger().rounds() - before;
 }
 
-std::vector<VertexId> TreeRouter::tree_path(const prim::Forest& f, VertexId src,
-                                            VertexId dst) const {
+void append_tree_path(const prim::Forest& f, VertexId src, VertexId dst,
+                      QueueArena& arena) {
+  XD_CHECK(src < f.root.size() && dst < f.root.size());
   XD_CHECK(f.is_active(src) && f.is_active(dst));
   // Climb both to the root, then cut at the lowest common vertex.
-  std::vector<VertexId> up_src{src};
+  thread_local std::vector<VertexId> up_src;
+  thread_local std::vector<VertexId> up_dst;
+  up_src.assign(1, src);
   while (up_src.back() != f.parent[up_src.back()]) {
     up_src.push_back(f.parent[up_src.back()]);
   }
-  std::vector<VertexId> up_dst{dst};
+  up_dst.assign(1, dst);
   while (up_dst.back() != f.parent[up_dst.back()]) {
     up_dst.push_back(f.parent[up_dst.back()]);
   }
@@ -50,11 +51,10 @@ std::vector<VertexId> TreeRouter::tree_path(const prim::Forest& f, VertexId src,
     up_src.pop_back();
     up_dst.pop_back();
   }
-  std::vector<VertexId> path = std::move(up_src);
+  for (const VertexId v : up_src) arena.push_vertex(v);
   for (auto it = up_dst.rbegin() + 1; it != up_dst.rend(); ++it) {
-    path.push_back(*it);
+    arena.push_vertex(*it);
   }
-  return path;
 }
 
 std::uint64_t TreeRouter::route(const std::vector<Demand>& demands) {
@@ -63,65 +63,28 @@ std::uint64_t TreeRouter::route(const std::vector<Demand>& demands) {
   Rng& rng = net_->rng(0);
   queries_ += queries_needed(g, demands);
 
-  // Expand demands into messages with a random tree and path each.
-  struct Msg {
-    std::vector<VertexId> path;
-    std::size_t at = 0;  // index into path
-  };
-  std::vector<Msg> msgs;
+  // Expand demands into messages, each with a random tree and its path
+  // staged flat in the arena.
+  if (!arena_) arena_ = std::make_unique<QueueArena>(g);
+  arena_->begin_batch();
   for (const Demand& d : demands) {
     for (std::uint32_t c = 0; c < d.count; ++c) {
       if (d.src == d.dst) continue;
       const auto& f = forests_[rng.next_below(forests_.size())];
-      msgs.push_back(Msg{tree_path(f, d.src, d.dst), 0});
+      arena_->begin_path();
+      append_tree_path(f, d.src, d.dst, *arena_);
+      arena_->end_path();
     }
   }
 
   // Synchronous store-and-forward: per directed edge (u, v), one message
-  // per round, FIFO by arrival.  Simulated exactly.  Queues are keyed by
-  // the packed directed pair (same iteration order as the (u, v) pair, one
-  // flat word per key).
-  const auto edge_key = [](VertexId u, VertexId v) {
-    return (static_cast<std::uint64_t>(u) << 32) | v;
-  };
-  std::map<std::uint64_t, std::deque<std::size_t>> queues;
-  std::size_t undelivered = 0;
-  for (std::size_t i = 0; i < msgs.size(); ++i) {
-    if (msgs[i].at + 1 < msgs[i].path.size()) {
-      queues[edge_key(msgs[i].path[0], msgs[i].path[1])].push_back(i);
-      ++undelivered;
-    }
-  }
-
-  std::uint64_t rounds = 0;
-  std::uint64_t messages_sent = 0;
-  std::vector<std::pair<std::uint64_t, std::size_t>> moves;
-  while (undelivered > 0) {
-    ++rounds;
-    XD_CHECK_MSG(rounds < 100 * msgs.size() + 1000,
-                 "store-and-forward failed to drain");
-    moves.clear();
-    for (auto& [edge, q] : queues) {
-      if (!q.empty()) {
-        moves.push_back({edge, q.front()});
-        q.pop_front();
-      }
-    }
-    for (const auto& [edge, mi] : moves) {
-      ++messages_sent;
-      Msg& m = msgs[mi];
-      ++m.at;
-      XD_CHECK(m.path[m.at] == static_cast<VertexId>(edge & 0xffffffffu));
-      if (m.at + 1 < m.path.size()) {
-        queues[edge_key(m.path[m.at], m.path[m.at + 1])].push_back(mi);
-      } else {
-        --undelivered;
-      }
-    }
-  }
-  net_->ledger().count_messages(messages_sent);
-  net_->ledger().charge(std::max<std::uint64_t>(rounds, 1), "TreeRouter/route");
-  return std::max<std::uint64_t>(rounds, 1);
+  // per round, FIFO by arrival -- drained on the flat queue arena, whose
+  // schedule is pinned bit-identical to the seed std::map drain.
+  const auto r = arena_->drain();
+  net_->ledger().count_messages(r.messages_sent);
+  net_->ledger().charge(std::max<std::uint64_t>(r.rounds, 1),
+                        "TreeRouter/route");
+  return std::max<std::uint64_t>(r.rounds, 1);
 }
 
 }  // namespace xd::routing

@@ -8,17 +8,27 @@
 /// route() assigns each message a uniformly random tree, walks it along the
 /// unique src -> root -> dst tree path (shortcut at the meeting vertex), and
 /// simulates synchronous store-and-forward with one message per directed
-/// edge per round, FIFO queues.  The returned makespan is a *measured*
-/// round count -- no modeling -- which on a φ-expander stays polylogarithmic
-/// per deg-bounded query (cross-check for the GKS cost model, E5).
+/// edge per round, FIFO queues.  The queues live in the flat QueueArena
+/// (queue_arena.hpp) -- bit-identical schedule to the seed's map-of-deques,
+/// one contiguous ring-slot vector instead of node churn.  The returned
+/// makespan is a *measured* round count -- no modeling -- which on a
+/// φ-expander stays polylogarithmic per deg-bounded query (cross-check for
+/// the GKS cost model, E5; docs/routing.md).
 
 #include <memory>
 
 #include "congest/network.hpp"
 #include "primitives/forest.hpp"
+#include "routing/queue_arena.hpp"
 #include "routing/router.hpp"
 
 namespace xd::routing {
+
+/// Appends the unique tree path src -> dst of forest `f` (climb both
+/// endpoints to the root, cut at the lowest common vertex) to the arena's
+/// current path.  Shared by TreeRouter and SimulatedHierarchicalRouter.
+void append_tree_path(const prim::Forest& f, VertexId src, VertexId dst,
+                      QueueArena& arena);
 
 /// Multi-tree store-and-forward backend.
 class TreeRouter : public Router {
@@ -32,17 +42,16 @@ class TreeRouter : public Router {
   [[nodiscard]] std::uint64_t queries() const override { return queries_; }
 
   /// Tree count actually used.
-  [[nodiscard]] int tree_count() const { return static_cast<int>(forests_.size()); }
+  [[nodiscard]] int tree_count() const {
+    return static_cast<int>(forests_.size());
+  }
 
  private:
   congest::Network* net_;
   int requested_trees_;
   std::vector<prim::Forest> forests_;
+  std::unique_ptr<QueueArena> arena_;
   std::uint64_t queries_ = 0;
-
-  /// Tree path src -> dst in forest f (sequence of vertices).
-  [[nodiscard]] std::vector<VertexId> tree_path(const prim::Forest& f,
-                                                VertexId src, VertexId dst) const;
 };
 
 }  // namespace xd::routing

@@ -11,6 +11,7 @@
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
 #include "routing/hierarchical_router.hpp"
+#include "routing/simulated_router.hpp"
 #include "routing/tree_router.hpp"
 #include "triangle/cluster_enum.hpp"
 #include "util/check.hpp"
@@ -188,7 +189,7 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
         res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
                                      local, ambient_members, scratch);
         res.queries = local.queries();
-      } else if (prm.hierarchical_router) {
+      } else if (prm.backend == RouterBackend::kCharged) {
         routing::HierarchicalParams hp;
         hp.depth = prm.router_depth;
         routing::HierarchicalRouter router(cluster_sub.graph, lg, hp);
@@ -196,9 +197,18 @@ CongestEnumResult enumerate_congest(const Graph& g, const EnumParams& prm,
         res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
                                      router, ambient_members, scratch);
         res.queries = router.queries();
-      } else {
+      } else if (prm.backend == RouterBackend::kTree) {
         congest::Network cluster_net(cluster_sub.graph, lg, crng());
         routing::TreeRouter router(cluster_net);
+        router.preprocess();
+        res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
+                                     router, ambient_members, scratch);
+        res.queries = router.queries();
+      } else {
+        congest::Network cluster_net(cluster_sub.graph, lg, crng());
+        routing::SimulatedHierarchicalParams sp;
+        sp.depth = prm.router_depth;
+        routing::SimulatedHierarchicalRouter router(cluster_net, sp);
         router.preprocess();
         res.tris = enumerate_cluster(g, cluster_edges[c], groups, p_global,
                                      router, ambient_members, scratch);

@@ -24,6 +24,16 @@
 
 namespace xd::triangle {
 
+/// Per-cluster router backend (docs/routing.md):
+///   kCharged        -- HierarchicalRouter, the GKS cost model (charges the
+///                      §3 formulas with a measured τ_mix);
+///   kTree           -- TreeRouter, fully simulated store-and-forward over
+///                      O(log n) random BFS trees;
+///   kHierarchicalSim - SimulatedHierarchicalRouter, the fully simulated
+///                      GKS hierarchy (portal embedding + relay delivery on
+///                      the round engine).
+enum class RouterBackend { kCharged, kTree, kHierarchicalSim };
+
 /// Knobs for the CONGEST enumeration.
 struct EnumParams {
   /// Decomposition budget; the CPZ recursion needs <= 1/6.
@@ -33,9 +43,9 @@ struct EnumParams {
   /// φ₀ override for the decomposition (0 = derived; see
   /// DecompositionParams::phi0_override).
   double phi0_override = 0.05;
-  /// Router backend: true = GKS cost model, false = simulated TreeRouter.
-  bool hierarchical_router = true;
-  /// GKS depth parameter (constant, per §3).
+  /// Which router serves each cluster's DLP traffic.
+  RouterBackend backend = RouterBackend::kCharged;
+  /// GKS depth parameter (constant, per §3; both hierarchical backends).
   int router_depth = 2;
   /// Safety cap on E* recursion levels.
   int max_levels = 40;

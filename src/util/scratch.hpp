@@ -56,6 +56,18 @@ class StampedMap {
   /// Value at a key the caller knows is present this epoch.
   [[nodiscard]] const T& at(std::size_t i) const { return values_[i]; }
 
+  /// Mutable value at key i, inserting a value-initialized T first if the
+  /// key is absent this epoch.  This is what lets cursor-like state (queue
+  /// head/tail offsets, counters) live in a stamped slab: mutate in place,
+  /// O(1) logical clear at the next begin_epoch.
+  [[nodiscard]] T& ref(std::size_t i) {
+    if (stamps_[i] != epoch_) {
+      values_[i] = T{};
+      stamps_[i] = epoch_;
+    }
+    return values_[i];
+  }
+
   [[nodiscard]] const ScratchStats& stats() const { return stats_; }
 
  private:

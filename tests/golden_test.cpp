@@ -105,7 +105,7 @@ TEST(Golden, TriangleEnumerationMatchesSeedKernel) {
   congest::RoundLedger ledger;
   Rng arng(17);
   triangle::EnumParams prm;
-  prm.hierarchical_router = false;
+  prm.backend = triangle::RouterBackend::kTree;
   const auto r = triangle::enumerate_congest(g, prm, arng, ledger);
   std::uint64_t h = 0;
   for (const auto& t : r.triangles) {
@@ -171,7 +171,7 @@ TEST(Golden, SchedulerTriangleEnumerationPins) {
     congest::RoundLedger ledger;
     Rng arng(17);
     triangle::EnumParams prm;
-    prm.hierarchical_router = false;
+    prm.backend = triangle::RouterBackend::kTree;
     prm.scheduler_threads = threads;
     const auto r = triangle::enumerate_congest(g, prm, arng, ledger);
     std::uint64_t h = 0;

@@ -58,6 +58,26 @@ TEST(StampedMap, StaleStampsNeverReadAsCurrentAfterGrowth) {
   for (std::size_t i = 0; i < 16; ++i) EXPECT_FALSE(m.contains(i));
 }
 
+TEST(StampedMap, RefInsertsValueInitializedAndMutatesInPlace) {
+  util::StampedMap<std::uint32_t> m;
+  m.begin_epoch(8);
+  m.put(5, 77);
+  // Absent key: ref() materializes a value-initialized entry.
+  EXPECT_EQ(m.ref(3), 0u);
+  EXPECT_TRUE(m.contains(3));
+  // Present key: ref() must NOT reset (the queue-arena head/tail cursors
+  // rely on in-place mutation).
+  ++m.ref(5);
+  EXPECT_EQ(m.at(5), 78u);
+  m.ref(3) = 9;
+  EXPECT_EQ(m.at(3), 9u);
+
+  // Stale entries from an earlier epoch read as fresh zero via ref().
+  m.begin_epoch(8);
+  EXPECT_FALSE(m.contains(5));
+  EXPECT_EQ(m.ref(5), 0u);
+}
+
 TEST(TripleRanker, MatchesLexicographicEnumeration) {
   for (const std::uint32_t p : {1u, 2u, 3u, 5u, 8u, 47u}) {
     const triangle::TripleRanker ranker(p);

@@ -140,7 +140,7 @@ TEST(CongestEnum, TreeRouterBackendAgrees) {
   const Graph g = gen::gnp(50, 0.3, rng);
   congest::RoundLedger ledger;
   EnumParams prm;
-  prm.hierarchical_router = false;
+  prm.backend = RouterBackend::kTree;
   const auto res = enumerate_congest(g, prm, rng, ledger);
   EXPECT_EQ(res.triangles, ground_truth(g));
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Docs link checker: every markdown cross-reference must resolve.
+
+Scans README.md and docs/*.md for inline markdown links `[text](target)`.
+For every relative target it checks that the referenced file exists, and --
+when the target carries a `#anchor` -- that the anchor matches a heading of
+the target file (GitHub slug rules: lowercase, punctuation stripped, spaces
+to hyphens).  Absolute URLs (http/https/mailto) are skipped.  Exits
+non-zero listing every dangling link, so CI fails on documentation rot.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(md: Path, repo: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(repo)}: dangling link "
+                              f"'{target}' (no such file {path_part})")
+                continue
+        else:
+            resolved = md.resolve()
+        if anchor:
+            if resolved.suffix != ".md":
+                continue  # anchors into source files are line references
+            if anchor not in anchors_of(resolved):
+                errors.append(f"{md.relative_to(repo)}: dangling anchor "
+                              f"'{target}' (no heading '#{anchor}' in "
+                              f"{resolved.name})")
+    return errors
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = [repo / "README.md"] + sorted((repo / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            errors.append(f"missing expected file: {md}")
+            continue
+        checked += 1
+        errors.extend(check_file(md, repo))
+    if errors:
+        print(f"docs link check FAILED ({len(errors)} problems):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"docs link check OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
