@@ -17,14 +17,18 @@
 //        at --scale ambient vertices.  --json PATH emits the E4d summary
 //        (the BENCH_triangle.json trajectory point; acceptance: >= 3x).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/xd.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -52,10 +56,46 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// The calling thread's per-kernel-class counters as a JSON fragment (the
+/// E4d attribution block: which kernel did the work, on how many elements,
+/// for how long).  Callers reset stats + enable timing around the measured
+/// region first.
+std::string kernels_json(const std::string& indent) {
+  using namespace xd::triangle::intersect;
+  const KernelStats& s = stats_for_thread();
+  std::ostringstream os;
+  os << indent << "\"isa\": \"" << isa_name(active_isa()) << "\",\n"
+     << indent << "\"kernels\": {\n";
+  for (std::size_t k = 0; k < kKernelCount; ++k) {
+    const KernelCounters& c = s.k[k];
+    os << indent << "  \"" << kernel_name(static_cast<Kernel>(k)) << "\": {"
+       << "\"calls\": " << c.calls << ", \"elements\": " << c.elements
+       << ", \"matches\": " << c.matches
+       << ", \"ms\": " << static_cast<double>(c.ns) / 1e6 << "}"
+       << (k + 1 < kKernelCount ? ",\n" : "\n");
+  }
+  os << indent << "}";
+  return os.str();
+}
+
+void print_kernel_table(const char* title) {
+  using namespace xd::triangle::intersect;
+  const KernelStats& s = stats_for_thread();
+  xd::Table t(title, {"kernel", "calls", "elements", "matches", "ms"});
+  for (std::size_t k = 0; k < kKernelCount; ++k) {
+    const KernelCounters& c = s.k[k];
+    t.add_row({kernel_name(static_cast<Kernel>(k)), xd::Table::cell(c.calls),
+               xd::Table::cell(c.elements), xd::Table::cell(c.matches),
+               xd::Table::cell(static_cast<double>(c.ns) / 1e6)});
+  }
+  t.print();
+  std::cout << "merge-kernel ISA: " << isa_name(active_isa()) << "\n\n";
+}
+
 /// E4d: flat vs seed proxy data plane over a synthetic multi-cluster level
 /// (disjoint G(cn, 8/cn) blocks, one cluster each -- the per-cluster shape
 /// the decomposition hands the enumerator, without decomposition cost).
-void run_e4d(std::size_t scale, const std::string& json_path) {
+std::string run_e4d(std::size_t scale) {
   using namespace xd;
   const std::size_t cn = 1000;  // vertices per cluster
   const std::size_t clusters = std::max<std::size_t>(1, scale / cn);
@@ -151,9 +191,14 @@ void run_e4d(std::size_t scale, const std::string& json_path) {
     const double f = ms_since(t0);
     flat_ms = r == 0 ? f : std::min(flat_ms, f);
   }
-  // Steady-state arena accounting over one more full pass.
+  // Steady-state arena accounting + per-kernel attribution over one more
+  // full pass (timing enabled only here, so the comparison reps above stay
+  // clean of clock reads).
   const auto warm = triangle::TriangleScratch::for_thread().to_local.stats();
+  triangle::intersect::reset_thread_stats();
+  triangle::intersect::set_timing_enabled(true);
   (void)run_flat();
+  triangle::intersect::set_timing_enabled(false);
   const auto after = triangle::TriangleScratch::for_thread().to_local.stats();
 
   const double speedup = flat_ms > 0 ? seed_ms / flat_ms : 0.0;
@@ -170,32 +215,226 @@ void run_e4d(std::size_t scale, const std::string& json_path) {
   e4d.print();
   std::cout << "scratch arena steady state: grown "
             << after.grown - warm.grown << ", reused "
-            << after.reused - warm.reused << " (one epoch per cluster)\n\n";
+            << after.reused - warm.reused << " (one epoch per cluster)\n";
+  print_kernel_table("E4d kernel attribution (one flat pass)");
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"name\": \"bench_triangle\",\n"
-        << "  \"e4d\": {\n"
-        << "    \"scale\": " << n << ",\n"
-        << "    \"clusters\": " << clusters << ",\n"
-        << "    \"p\": " << p << ",\n"
-        << "    \"edges\": " << g.num_edges() << ",\n"
-        << "    \"triangles\": " << flat_tris << ",\n"
-        << "    \"demands\": " << flat_demands << ",\n"
-        << "    \"seed_ms\": " << seed_ms << ",\n"
-        << "    \"flat_ms\": " << flat_ms << ",\n"
-        << "    \"speedup\": " << speedup << ",\n"
-        << "    \"meets_3x_bar\": " << (speedup >= 3.0 ? "true" : "false")
-        << ",\n"
-        << "    \"scratch_grown_steady\": " << after.grown - warm.grown
-        << ",\n"
-        << "    \"scratch_reused_steady\": " << after.reused - warm.reused
-        << ",\n"
-        << "    \"exact\": " << (exact ? "true" : "false") << "\n"
-        << "  }\n"
-        << "}\n";
+  std::ostringstream out;
+  out << "  \"e4d\": {\n"
+      << "    \"scale\": " << n << ",\n"
+      << "    \"clusters\": " << clusters << ",\n"
+      << "    \"p\": " << p << ",\n"
+      << "    \"edges\": " << g.num_edges() << ",\n"
+      << "    \"triangles\": " << flat_tris << ",\n"
+      << "    \"demands\": " << flat_demands << ",\n"
+      << "    \"seed_ms\": " << seed_ms << ",\n"
+      << "    \"flat_ms\": " << flat_ms << ",\n"
+      << "    \"speedup\": " << speedup << ",\n"
+      << "    \"meets_3x_bar\": " << (speedup >= 3.0 ? "true" : "false")
+      << ",\n"
+      << "    \"scratch_grown_steady\": " << after.grown - warm.grown << ",\n"
+      << "    \"scratch_reused_steady\": " << after.reused - warm.reused
+      << ",\n"
+      << kernels_json("    ") << ",\n"
+      << "    \"exact\": " << (exact ? "true" : "false") << "\n"
+      << "  }";
+  return out.str();
+}
+
+/// E4d-large: the join phase alone, at million-edge scale, against the
+/// PR 4 scalar paths.  Two components, matching the two consumers:
+///
+///  * **bucket**: one dense cluster's proxy-tuple plane (every edge shipped
+///    to its p proxy triples, exactly the data-plane expansion), joined by
+///    the kernelized join_proxy_buckets vs the retained per-candidate
+///    binary-search probe join;
+///  * **csr**: the local baseline's CSR merge join on a skewed graph
+///    (loaded from --input, else preferential attachment -- hubs cross the
+///    bitmap threshold), kernelized csr_triangle_join vs the retained
+///    two-pointer reference.
+///
+/// Both comparisons assert bit-identical triangle output before timing.
+/// The bucket ratio -- the triangle plane's join phase against PR 4's
+/// wedge-probe scalar path -- is the >= 3x acceptance number; the CSR A/B
+/// (memory-bound at this scale: the probes are random stamped bit tests
+/// into an L2-resident slab) and the combined ratio are reported alongside.
+std::string run_e4d_large(std::size_t scale, const std::string& input,
+                          bool reorder) {
+  using namespace xd;
+  Rng rng(161803);
+
+  // ---- bucket-join component -------------------------------------------
+  // One decomposition-shaped cluster: dense (the DLP lower-bound family is
+  // G(n, 1/2); expander clusters the driver hands over are near-dense), so
+  // bucket runs are long enough that the closing-edge search is the cost.
+  const std::size_t cn = std::max<std::size_t>(1200, scale / 800);
+  const double avg_deg = std::min<double>(400.0, static_cast<double>(cn) / 2);
+  const Graph cg = gen::gnp(cn, avg_deg / static_cast<double>(cn), rng);
+  const auto p = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::cbrt(static_cast<double>(cn)))));
+  const triangle::TripleRanker ranker(p);
+  std::vector<std::uint32_t> groups(cn);
+  for (auto& gr : groups) gr = static_cast<std::uint32_t>(rng.next_below(p));
+  std::vector<triangle::ProxyTuple> plane;
+  plane.reserve(cg.num_edges() * p);
+  cg.for_each_live_edge([&](EdgeId, VertexId u, VertexId v) {
+    for (std::uint32_t w = 0; w < p; ++w) {
+      plane.push_back(
+          triangle::ProxyTuple{ranker.rank(groups[u], groups[v], w), u, v});
+    }
+  });
+
+  triangle::JoinScratch js;
+  std::vector<triangle::Triangle> tris;
+  const auto bucket_arm = [&](bool kernelized) {
+    auto tuples = plane;  // the joins group in place; copy per arm
+    tris.clear();
+    if (kernelized) {
+      triangle::join_proxy_buckets(tuples, ranker, groups.data(), js, tris);
+    } else {
+      triangle::join_proxy_buckets_probe(tuples, ranker, groups.data(), js,
+                                         tris);
+    }
+  };
+  bucket_arm(false);
+  auto bucket_want = tris;
+  bucket_arm(true);
+  const bool bucket_identical = tris == bucket_want;
+  bucket_want.clear();
+  bucket_want.shrink_to_fit();
+  const std::uint64_t bucket_tris = tris.size();
+
+  constexpr int kReps = 3;
+  double bucket_probe_ms = 0, bucket_kernel_ms = 0;
+  for (int r = 0; r < kReps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    bucket_arm(false);
+    const double pm = ms_since(t0);
+    bucket_probe_ms = r == 0 ? pm : std::min(bucket_probe_ms, pm);
+    t0 = std::chrono::steady_clock::now();
+    bucket_arm(true);
+    const double km = ms_since(t0);
+    bucket_kernel_ms = r == 0 ? km : std::min(bucket_kernel_ms, km);
   }
+
+  // ---- CSR-join component ----------------------------------------------
+  std::string source = "preferential_attachment";
+  Graph big;
+  if (!input.empty()) {
+    BinaryLoadOptions opt;
+    opt.reorder_by_degree = reorder;
+    big = read_binary_edge_list_file(input, opt).graph;
+    source = input;
+  } else {
+    // Hub-skewed multi-million-edge graph: mid-degree vertices exercise the
+    // merge kernel, the attachment hubs cross the bitmap threshold.
+    big = gen::preferential_attachment(std::max<std::size_t>(50000, scale / 4),
+                                       32, rng);
+    if (reorder) big = xd::reorder_by_degree(big).graph;
+  }
+  const std::size_t bn = big.num_vertices();
+  std::vector<std::uint32_t> offsets(bn + 1, 0);
+  std::vector<VertexId> adj;
+  adj.reserve(big.volume());
+  std::vector<VertexId> tmp;
+  for (VertexId v = 0; v < bn; ++v) {
+    tmp.clear();
+    for (const VertexId u : big.neighbors(v)) {
+      if (u != v) tmp.push_back(u);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+    adj.insert(adj.end(), tmp.begin(), tmp.end());
+    offsets[v + 1] = static_cast<std::uint32_t>(adj.size());
+  }
+
+  const auto csr_arm = [&](bool kernelized) {
+    tris.clear();
+    if (kernelized) {
+      triangle::csr_triangle_join(offsets.data(), adj.data(), bn, tris);
+    } else {
+      triangle::csr_triangle_join_reference(offsets.data(), adj.data(), bn,
+                                            tris);
+    }
+  };
+  csr_arm(false);
+  auto csr_want = tris;
+  csr_arm(true);
+  const bool csr_identical = tris == csr_want;
+  csr_want.clear();
+  csr_want.shrink_to_fit();
+  const std::uint64_t csr_tris = tris.size();
+
+  double csr_ref_ms = 0, csr_kernel_ms = 0;
+  for (int r = 0; r < kReps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    csr_arm(false);
+    const double rm = ms_since(t0);
+    csr_ref_ms = r == 0 ? rm : std::min(csr_ref_ms, rm);
+    t0 = std::chrono::steady_clock::now();
+    csr_arm(true);
+    const double km = ms_since(t0);
+    csr_kernel_ms = r == 0 ? km : std::min(csr_kernel_ms, km);
+  }
+
+  // Attribution pass: both kernelized arms once, with timing on.
+  triangle::intersect::reset_thread_stats();
+  triangle::intersect::set_timing_enabled(true);
+  bucket_arm(true);
+  csr_arm(true);
+  triangle::intersect::set_timing_enabled(false);
+
+  const double bucket_speedup =
+      bucket_kernel_ms > 0 ? bucket_probe_ms / bucket_kernel_ms : 0.0;
+  const double csr_speedup =
+      csr_kernel_ms > 0 ? csr_ref_ms / csr_kernel_ms : 0.0;
+  const double old_ms = bucket_probe_ms + csr_ref_ms;
+  const double new_ms = bucket_kernel_ms + csr_kernel_ms;
+  const double combined_speedup = new_ms > 0 ? old_ms / new_ms : 0.0;
+  const bool identical = bucket_identical && csr_identical;
+
+  Table t("E4d-large: join phase, hybrid kernels vs PR 4 scalar paths",
+          {"component", "work", "triangles", "scalar ms", "kernel ms",
+           "speedup", "identical?"});
+  t.add_row({"bucket join", Table::cell(static_cast<std::uint64_t>(plane.size())),
+             Table::cell(bucket_tris), Table::cell(bucket_probe_ms),
+             Table::cell(bucket_kernel_ms), Table::cell(bucket_speedup),
+             bucket_identical ? "yes" : "NO"});
+  t.add_row({"csr join",
+             Table::cell(static_cast<std::uint64_t>(big.num_edges())),
+             Table::cell(csr_tris), Table::cell(csr_ref_ms),
+             Table::cell(csr_kernel_ms), Table::cell(csr_speedup),
+             csr_identical ? "yes" : "NO"});
+  t.print();
+  std::cout << "proxy-join phase: " << bucket_probe_ms << " ms -> "
+            << bucket_kernel_ms << " ms (" << bucket_speedup
+            << "x, acceptance >= 3x); combined with csr: " << old_ms
+            << " ms -> " << new_ms << " ms (" << combined_speedup << "x)\n";
+  print_kernel_table("E4d-large kernel attribution (one kernelized pass)");
+
+  std::ostringstream out;
+  out << "  \"e4d_large\": {\n"
+      << "    \"scale\": " << scale << ",\n"
+      << "    \"bucket\": {\"tuples\": " << plane.size()
+      << ", \"p\": " << p << ", \"triangles\": " << bucket_tris
+      << ", \"probe_ms\": " << bucket_probe_ms
+      << ", \"kernel_ms\": " << bucket_kernel_ms
+      << ", \"speedup\": " << bucket_speedup << ", \"identical\": "
+      << (bucket_identical ? "true" : "false") << "},\n"
+      << "    \"csr\": {\"source\": \"" << source << "\", \"n\": " << bn
+      << ", \"edges\": " << big.num_edges()
+      << ", \"reordered\": " << (reorder ? "true" : "false")
+      << ", \"triangles\": " << csr_tris << ", \"ref_ms\": " << csr_ref_ms
+      << ", \"kernel_ms\": " << csr_kernel_ms
+      << ", \"speedup\": " << csr_speedup << ", \"identical\": "
+      << (csr_identical ? "true" : "false") << "},\n"
+      << "    \"join_speedup\": " << bucket_speedup << ",\n"
+      << "    \"combined_speedup\": " << combined_speedup << ",\n"
+      << "    \"meets_3x_bar\": " << (bucket_speedup >= 3.0 ? "true" : "false")
+      << ",\n"
+      << kernels_json("    ") << ",\n"
+      << "    \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+      << "  }";
+  return out.str();
 }
 
 }  // namespace
@@ -203,10 +442,20 @@ void run_e4d(std::size_t scale, const std::string& json_path) {
 int main(int argc, char** argv) {
   using namespace xd;
   std::string json_path;
+  std::string input;
   std::size_t scale = 100000;
+  bool scale_given = false;
+  bool large = false;
+  bool reorder = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
+      input = argv[++i];
+    } else if (std::strcmp(argv[i], "--large") == 0) {
+      large = true;
+    } else if (std::strcmp(argv[i], "--reorder") == 0) {
+      reorder = true;
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       const std::string arg = argv[++i];
       try {
@@ -220,11 +469,19 @@ int main(int argc, char** argv) {
                   << arg << "'\n";
         return 2;
       }
+      scale_given = true;
     } else {
-      std::cerr << "usage: bench_triangle [--json PATH] [--scale N]\n";
+      std::cerr << "usage: bench_triangle [--json PATH] [--scale N] "
+                   "[--large] [--input FILE.xdg] [--reorder]\n";
       return 2;
     }
   }
+  if (!input.empty() && !large) {
+    std::cerr << "bench_triangle: --input only applies to the --large join "
+                 "phase; pass --large\n";
+    return 2;
+  }
+  if (large && !scale_given) scale = 1000000;
   Rng master(31337);
 
   Table e4a("E4a: G(n, 1/2) rounds by phase (CONGEST Thm2 vs DLP vs local)",
@@ -340,6 +597,31 @@ int main(int argc, char** argv) {
   }
   e4c.print();
 
-  run_e4d(scale, json_path);
+  // The small E4d (flat-vs-seed plane) always runs -- it is the standing
+  // trajectory point -- at its own scale cap in large mode (the seed arm's
+  // per-cluster O(n) vectors would dominate a million-vertex run).
+  std::vector<std::string> fragments;
+  try {
+    fragments.push_back(run_e4d(large ? std::min<std::size_t>(scale, 100000)
+                                      : scale));
+    if (large) fragments.push_back(run_e4d_large(scale, input, reorder));
+  } catch (const CheckError& e) {
+    // Bad --input files (missing, wrong magic, truncated) land here; a
+    // clear message + nonzero exit lets run_all.sh fail loudly.
+    std::cerr << "bench_triangle: " << e.what() << "\n";
+    return 1;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::cerr << "bench_triangle: cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"name\": \"bench_triangle\",\n";
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      out << fragments[i] << (i + 1 < fragments.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+  }
   return 0;
 }

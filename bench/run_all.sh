@@ -2,7 +2,9 @@
 # Runs every bench and captures results as BENCH_*.json in the output
 # directory (default: repo root), so successive PRs leave a perf trajectory.
 #
-#   bench/run_all.sh [--build-dir BUILD] [--out-dir OUT] [--quick] [names...]
+#   bench/run_all.sh [--build-dir BUILD] [--out-dir OUT] [--quick] \
+#                    [--large] [--large-scale N] [--input FILE.xdg] \
+#                    [--reorder] [names...]
 #
 # google-benchmark binaries (bench_kernel) emit native JSON; bench_expander,
 # bench_triangle, and bench_routing write their own structured JSON (the E3d
@@ -12,28 +14,73 @@
 # remaining table-printing benches are wrapped as {"name", "stdout"} JSON.
 # With --quick, only the kernel bench runs (the acceptance metric for the
 # round engine: flat delivery >= 2x the seed nested path at 100k vertices).
+#
+# With --large, the million-edge tier runs instead: bench_triangle --large
+# (the E4d-large join-phase comparison -- hybrid SIMD kernels vs the PR 4
+# scalar paths; acceptance: >= 3x on the proxy-join phase, with the CSR
+# A/B and combined ratio reported alongside -- on generated graphs, or on
+# a binary edge list passed via --input FILE.xdg, optionally --reorder'ed
+# by degree) plus bench_expander, with results defaulting to bench/results/.
+# XD_LARGE_SCALE (or --large-scale) overrides the 1M default scale.
 
 set -euo pipefail
 
 BUILD_DIR=build
-OUT_DIR=.
+OUT_DIR=
 QUICK=0
+LARGE=0
+LARGE_SCALE=${XD_LARGE_SCALE:-}
+INPUT=
+REORDER=0
 NAMES=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR=$2; shift 2 ;;
     --out-dir) OUT_DIR=$2; shift 2 ;;
     --quick) QUICK=1; shift ;;
+    --large) LARGE=1; shift ;;
+    --large-scale) LARGE_SCALE=$2; shift 2 ;;
+    --input) INPUT=$2; shift 2 ;;
+    --reorder) REORDER=1; shift ;;
     *) NAMES+=("$1"); shift ;;
   esac
 done
 
 cd "$(dirname "$0")/.."
+
+# --large inputs fail loudly up front: a missing or non-XDG1 file must not
+# burn minutes of generator time before erroring inside the bench.
+if [[ -n "$INPUT" ]]; then
+  if [[ $LARGE -ne 1 ]]; then
+    echo "error: --input only applies to the --large tier" >&2
+    exit 1
+  fi
+  if [[ ! -f "$INPUT" ]]; then
+    echo "error: --input file '$INPUT' does not exist" >&2
+    exit 1
+  fi
+  if [[ "$(head -c 4 "$INPUT")" != "XDG1" ]]; then
+    echo "error: '$INPUT' is not an XDG1 binary edge list (bad magic);" \
+         "convert text lists with build/edges_to_binary (docs/io.md)" >&2
+    exit 1
+  fi
+fi
+if [[ -n "$LARGE_SCALE" && ! "$LARGE_SCALE" =~ ^[1-9][0-9]*$ ]]; then
+  echo "error: --large-scale/XD_LARGE_SCALE wants a positive integer," \
+       "got '$LARGE_SCALE'" >&2
+  exit 1
+fi
+
+if [[ -z "$OUT_DIR" ]]; then
+  if [[ $LARGE -eq 1 ]]; then OUT_DIR=bench/results; else OUT_DIR=.; fi
+fi
 mkdir -p "$OUT_DIR"
 
 if [[ ${#NAMES[@]} -eq 0 ]]; then
   if [[ $QUICK -eq 1 ]]; then
     NAMES=(bench_kernel)
+  elif [[ $LARGE -eq 1 ]]; then
+    NAMES=(bench_expander bench_triangle)
   else
     NAMES=(bench_kernel bench_ldd bench_mixing bench_nibble bench_routing \
            bench_sparse_cut bench_expander bench_triangle)
@@ -62,7 +109,14 @@ for name in "${NAMES[@]}"; do
     # 100k scale), and the E5c/E5d routing comparisons (simulated GKS vs
     # charged model; flat arena >= 3x the map drain at 100k messages).
     # Tables still stream to the terminal for the human trail.
-    "$bin" --json "$out" >&2
+    EXTRA=()
+    if [[ "$name" == bench_triangle && $LARGE -eq 1 ]]; then
+      EXTRA+=(--large)
+      [[ -n "$LARGE_SCALE" ]] && EXTRA+=(--scale "$LARGE_SCALE")
+      [[ -n "$INPUT" ]] && EXTRA+=(--input "$INPUT")
+      [[ $REORDER -eq 1 ]] && EXTRA+=(--reorder)
+    fi
+    "$bin" --json "$out" ${EXTRA[@]+"${EXTRA[@]}"} >&2
   elif "$bin" --help 2>/dev/null | grep -q benchmark_format; then
     "$bin" --benchmark_format=json --benchmark_min_time=1 \
            --benchmark_repetitions=3 > "$out"

@@ -75,7 +75,9 @@
 #include "triangle/cluster_enum.hpp"
 #include "triangle/detect.hpp"
 #include "triangle/enumerate.hpp"
+#include "triangle/intersect.hpp"
 #include "triangle/triple_rank.hpp"
+#include "util/bitset_arena.hpp"
 #include "util/rng.hpp"
 #include "util/scratch.hpp"
 #include "util/stats.hpp"

@@ -177,6 +177,13 @@ class GraphBuilder {
   /// Adds undirected edge {u, v}; u == v adds a self-loop (repeatable).
   GraphBuilder& add_edge(VertexId u, VertexId v);
 
+  /// Pre-sizes the edge accumulators (bulk loaders know m up front).
+  GraphBuilder& reserve(std::size_t num_edges) {
+    us_.reserve(num_edges);
+    vs_.reserve(num_edges);
+    return *this;
+  }
+
   /// Adds `count` self-loops at v.
   GraphBuilder& add_loops(VertexId v, std::uint32_t count);
 

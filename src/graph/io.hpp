@@ -1,11 +1,26 @@
 #pragma once
 
 /// \file io.hpp
-/// Plain-text edge-list serialization: first line "n m", then one "u v" pair
-/// per line.  Self-loops serialize as "v v".
+/// Graph serialization (docs/io.md).
+///
+/// Two on-disk forms:
+///  * **Text edge list** -- first line "n m", then one "u v" pair per
+///    line; self-loops serialize as "v v".  Human-readable fixtures.
+///  * **Binary edge list** -- a fixed 24-byte header (magic 'XDG1', a
+///    reserved word, u64 n, u64 m) followed by m little-endian (u32 u,
+///    u32 v) pairs.  The production-scale loader mmaps the file (falling
+///    back to a streamed read), normalizes and deduplicates the pairs with
+///    a chunked parallel sort, histograms degrees, and converts to the CSR
+///    Graph -- with an optional degree-descending (DODG-style) reorder
+///    pass that relabels vertices by (degree desc, id asc) so high-degree
+///    hubs get the smallest ids, which orientation-based triangle kernels
+///    and decomposition seeds can opt into.  tools/edges_to_binary
+///    converts text lists into this format.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -18,5 +33,46 @@ void write_edge_list_file(const Graph& g, const std::string& path);
 /// Parses an edge list; throws CheckError on malformed input.
 Graph read_edge_list(std::istream& is);
 Graph read_edge_list_file(const std::string& path);
+
+// -------------------------------------------------- binary edge lists --
+
+/// 'XDG1' little-endian.
+inline constexpr std::uint32_t kBinaryGraphMagic = 0x31474458u;
+
+struct BinaryLoadOptions {
+  /// Run the DODG-style preprocessing pass: relabel vertices by (degree
+  /// desc, id asc) before building the CSR.
+  bool reorder_by_degree = false;
+  /// Keep self-loops from the file (dropped by default: the triangle and
+  /// decomposition planes define their own loop semantics).
+  bool keep_self_loops = false;
+  /// Worker threads for the dedup sort; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// A loaded (and possibly relabeled) graph.  The permutations are empty
+/// unless the reorder pass ran; otherwise old_to_new[v] is v's new id and
+/// new_to_old is its inverse, so callers can map results back.
+struct LoadedGraph {
+  Graph graph;
+  std::vector<VertexId> old_to_new;
+  std::vector<VertexId> new_to_old;
+};
+
+/// Writes g's edges in the binary format (loops included verbatim).
+void write_binary_edge_list_file(const Graph& g, const std::string& path);
+
+/// Loads a binary edge list: mmap/stream read, parallel dedup -> degree
+/// histogram -> CSR, optional degree-descending reorder.  Parallel copies
+/// of an edge collapse to one; endpoint order in the file is irrelevant.
+/// Throws CheckError on missing files, bad magic, truncation, or
+/// out-of-range endpoints.
+LoadedGraph read_binary_edge_list_file(const std::string& path,
+                                       const BinaryLoadOptions& opt = {});
+
+/// The standalone DODG pass over an already-built graph: returns the
+/// relabeled graph plus both permutations.  Any plane can run this as a
+/// preprocessing step and translate its output through new_to_old.
+LoadedGraph reorder_by_degree(const Graph& g);
 
 }  // namespace xd

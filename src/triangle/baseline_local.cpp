@@ -2,9 +2,78 @@
 
 #include <algorithm>
 
+#include "triangle/intersect.hpp"
 #include "util/check.hpp"
 
 namespace xd::triangle {
+
+void csr_triangle_join(const std::uint32_t* offsets, const VertexId* adj,
+                       std::size_t n, std::vector<Triangle>& out) {
+  auto& bm = intersect::BitmapIntersect::for_thread();
+  std::vector<std::uint32_t> matches;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId* av = adj + offsets[v];
+    const std::size_t dv = offsets[v + 1] - offsets[v];
+    const VertexId* av_end = av + dv;
+    if (matches.size() < dv + intersect::kOutSlack) {
+      matches.resize(dv + intersect::kOutSlack);
+    }
+    // Hub vertices build one bitmap of N(v) and probe every neighbor list
+    // against it; every probed w is > u, so the match set equals the tail
+    // intersection N(v) ∩ N(u) ∩ (u, ∞) exactly.
+    const bool hub = intersect::use_bitmap(dv);
+    if (hub) bm.build(av, dv);
+    for (const VertexId* pu = av; pu != av_end; ++pu) {
+      const VertexId u = *pu;
+      if (u <= v) continue;
+      const VertexId* bu = adj + offsets[u];
+      const VertexId* bu_end = adj + offsets[u + 1];
+      const VertexId* b0 = std::upper_bound(bu, bu_end, u);
+      const std::size_t nb = static_cast<std::size_t>(bu_end - b0);
+      if (matches.size() < nb + intersect::kOutSlack) {
+        matches.resize(nb + intersect::kOutSlack);
+      }
+      std::size_t cnt;
+      if (hub) {
+        cnt = bm.probe(b0, nb, matches.data());
+      } else {
+        cnt = intersect::intersect_sorted(
+            pu + 1, static_cast<std::size_t>(av_end - (pu + 1)), b0, nb,
+            matches.data());
+      }
+      for (std::size_t t = 0; t < cnt; ++t) {
+        out.push_back(Triangle{v, u, matches[t]});
+      }
+    }
+  }
+}
+
+void csr_triangle_join_reference(const std::uint32_t* offsets,
+                                 const VertexId* adj, std::size_t n,
+                                 std::vector<Triangle>& out) {
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId* av_end = adj + offsets[v + 1];
+    for (const VertexId* pu = adj + offsets[v]; pu != av_end; ++pu) {
+      const VertexId u = *pu;
+      if (u <= v) continue;
+      const VertexId* x = pu + 1;  // N(v) entries > u
+      const VertexId* y = adj + offsets[u];
+      const VertexId* y_end = adj + offsets[u + 1];
+      y = std::upper_bound(y, y_end, u);
+      while (x != av_end && y != y_end) {
+        if (*x < *y) {
+          ++x;
+        } else if (*y < *x) {
+          ++y;
+        } else {
+          out.push_back(Triangle{v, u, *x});
+          ++x;
+          ++y;
+        }
+      }
+    }
+  }
+}
 
 EnumerationResult enumerate_local_baseline(const Graph& g,
                                            congest::RoundLedger& ledger) {
@@ -29,8 +98,8 @@ EnumerationResult enumerate_local_baseline(const Graph& g,
 
   // Detection: v knows N(v) and N(u) for each neighbor u; triangle
   // {v, u, w} is visible at v whenever w ∈ N(v) ∩ N(u).  Flat plane: one
-  // CSR of sorted, deduplicated neighbor lists (loops dropped), then a
-  // two-pointer merge intersection per oriented edge v < u.
+  // CSR of sorted, deduplicated neighbor lists (loops dropped), joined by
+  // the hybrid intersection kernels (csr_triangle_join).
   std::vector<std::uint32_t> offsets(n + 1, 0);
   std::vector<VertexId> adj;
   adj.reserve(g.volume());
@@ -51,28 +120,7 @@ EnumerationResult enumerate_local_baseline(const Graph& g,
   // v < u < w is found exactly once (via its smallest edge (v, u)), so the
   // output needs no dedup pass.
   std::vector<Triangle> found;
-  for (VertexId v = 0; v < n; ++v) {
-    const VertexId* av_end = adj.data() + offsets[v + 1];
-    for (const VertexId* pu = adj.data() + offsets[v]; pu != av_end; ++pu) {
-      const VertexId u = *pu;
-      if (u <= v) continue;
-      const VertexId* x = pu + 1;  // N(v) entries > u
-      const VertexId* y = adj.data() + offsets[u];
-      const VertexId* y_end = adj.data() + offsets[u + 1];
-      y = std::upper_bound(y, y_end, u);
-      while (x != av_end && y != y_end) {
-        if (*x < *y) {
-          ++x;
-        } else if (*y < *x) {
-          ++y;
-        } else {
-          found.push_back(Triangle{v, u, *x});
-          ++x;
-          ++y;
-        }
-      }
-    }
-  }
+  csr_triangle_join(offsets.data(), adj.data(), n, found);
   out.triangles = std::move(found);
   out.rounds = ledger.rounds() - before;
   return out;

@@ -7,6 +7,9 @@
 /// Rounds ≈ max degree -- Θ(n) on dense graphs, the foil for Theorem 2's
 /// Õ(n^{1/3}) in experiment E4.
 
+#include <cstdint>
+#include <vector>
+
 #include "congest/ledger.hpp"
 #include "graph/graph.hpp"
 #include "triangle/clique_dlp.hpp"
@@ -14,8 +17,27 @@
 namespace xd::triangle {
 
 /// Runs the baseline on g, charging `ledger`.  Every triangle is reported
-/// by each of its vertices; the result is deduplicated.
+/// by each of its vertices; the result is deduplicated.  Detection runs on
+/// csr_triangle_join below.
 EnumerationResult enumerate_local_baseline(const Graph& g,
                                            congest::RoundLedger& ledger);
+
+/// All triangles v < u < w of a CSR whose per-vertex neighbor lists are
+/// sorted, deduplicated, and loop-free (`offsets` has n+1 entries into
+/// `adj`).  Appends Triangle{v, u, w} in (v asc, u asc, w asc) order --
+/// each triangle exactly once, via its smallest edge (v, u).  Closing-edge
+/// searches run on the hybrid intersection kernels (intersect.hpp): the
+/// merge kernel per oriented edge, or -- for vertices whose degree clears
+/// the bitmap threshold -- one epoch-stamped bitmap of N(v) probed by
+/// every N(u).  Output is bit-identical to csr_triangle_join_reference
+/// under every kernel/ISA.
+void csr_triangle_join(const std::uint32_t* offsets, const VertexId* adj,
+                       std::size_t n, std::vector<Triangle>& out);
+
+/// The PR 4 scalar two-pointer join, retained as the kernel differential
+/// oracle and the E4d join-phase baseline.  Identical output.
+void csr_triangle_join_reference(const std::uint32_t* offsets,
+                                 const VertexId* adj, std::size_t n,
+                                 std::vector<Triangle>& out);
 
 }  // namespace xd::triangle

@@ -14,11 +14,16 @@
 /// directly -- both orders are identical.
 ///
 /// Each bucket then joins with zero per-bucket setup: bucket edges sharing
-/// their smaller endpoint x sit consecutively, every pair (x,y), (x,z)
-/// with y < z is a wedge, and the closing edge (y, z) is a binary search
-/// in the same sorted span.  Each triangle is found exactly once, at its
-/// smallest vertex, replacing the seed's per-bucket hash-map walk plus
-/// hash-set probe per candidate.
+/// their smaller endpoint x sit consecutively (a *run*), every pair (x,y),
+/// (x,z) with y < z is a wedge, and the closing edges live in the run of y
+/// further down the same sorted span.  Each triangle is found exactly
+/// once, at its smallest vertex.  The default join routes the closing-edge
+/// search through the hybrid intersection kernels (intersect.hpp): per
+/// wedge source y, the x-run's tail is intersected with y's run -- merge
+/// kernel for mid-size runs, an epoch-stamped bitmap of the x-run for
+/// high-degree runs -- while join_proxy_buckets_probe retains the PR 4
+/// per-candidate binary-search loop as the differential oracle and the
+/// bench baseline (bench_triangle E4d's join-phase comparison).
 
 #include <cstdint>
 #include <vector>
@@ -51,15 +56,32 @@ struct ProxyTuple {
 struct JoinScratch {
   std::vector<std::uint32_t> counts;  ///< per-rank counters / end offsets
   std::vector<ProxyTuple> scatter;    ///< counting-sort target buffer
+  // Kernelized join scratch, bucket-local (capacities persist):
+  std::vector<std::uint32_t> vals;       ///< the span's larger endpoints
+  std::vector<std::uint32_t> run_u;      ///< distinct smaller endpoints
+  std::vector<std::uint32_t> run_begin;  ///< run extents into vals,
+  std::vector<std::uint32_t> run_end;    ///<   parallel to run_u
+  std::vector<std::uint32_t> matches;    ///< kernel output buffer
 };
 
 /// Groups `tuples` by (rank, u, v), dedups, joins each bucket, and appends
 /// every triangle x < y < z whose group triple ranks to its bucket (the
 /// ownership rule that keeps reports duplicate-free across proxies).
-/// `groups[v]` is the group of ambient vertex v.
+/// `groups[v]` is the group of ambient vertex v.  Closing-edge searches run
+/// on the hybrid intersection kernels; output (content and order) is
+/// bit-identical to join_proxy_buckets_probe under every kernel/ISA.
 void join_proxy_buckets(std::vector<ProxyTuple>& tuples,
                         const TripleRanker& ranker,
                         const std::uint32_t* groups, JoinScratch& scratch,
                         std::vector<Triangle>& out);
+
+/// The PR 4 join (per-candidate binary search over the bucket span),
+/// retained as the kernel differential oracle and the E4d join-phase
+/// baseline.  Identical output to join_proxy_buckets.
+void join_proxy_buckets_probe(std::vector<ProxyTuple>& tuples,
+                              const TripleRanker& ranker,
+                              const std::uint32_t* groups,
+                              JoinScratch& scratch,
+                              std::vector<Triangle>& out);
 
 }  // namespace xd::triangle

@@ -1,0 +1,302 @@
+#include "triangle/intersect.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
+
+namespace xd::triangle::intersect {
+
+namespace {
+
+std::atomic<bool> g_timing{false};
+
+/// -1 = not yet read from the environment; 0/1 = resolved.
+std::atomic<int> g_force_scalar{-1};
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scalar intersection: two-pointer merge, or -- under heavy size skew --
+/// a galloping binary search of the small side through the large side (the
+/// PR 4 probe idiom).  Both branches emit the identical ascending matches.
+std::size_t scalar_raw(const std::uint32_t* a, std::size_t na,
+                       const std::uint32_t* b, std::size_t nb,
+                       std::uint32_t* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  std::size_t k = 0;
+  if (nb / na >= 32) {
+    const std::uint32_t* lo = b;
+    const std::uint32_t* const end = b + nb;
+    for (std::size_t i = 0; i < na; ++i) {
+      lo = std::lower_bound(lo, end, a[i]);
+      if (lo == end) break;
+      if (*lo == a[i]) out[k++] = a[i];
+    }
+    return k;
+  }
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// 4-wide SSE2 compare-shuffle merge: all-pairs lane compare of two sorted
+/// blocks (three 32-bit rotations of the b block), scalar mask extraction,
+/// then advance the block with the smaller maximum.  x86-64 baseline ISA,
+/// so this needs no per-TU flags.
+std::size_t merge_sse2_raw(const std::uint32_t* a, std::size_t na,
+                           const std::uint32_t* b, std::size_t nb,
+                           std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+    while (mask != 0) {
+      const int r = __builtin_ctz(static_cast<unsigned>(mask));
+      out[k++] = a[i + static_cast<std::size_t>(r)];
+      mask &= mask - 1;
+    }
+    const std::uint32_t a_max = a[i + 3];
+    const std::uint32_t b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+#endif  // x86-64
+
+Isa detect_isa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (detail::avx2_compiled() && __builtin_cpu_supports("avx2")) {
+    return Isa::kAvx2;
+  }
+  return Isa::kSse2;
+#else
+  return Isa::kScalarOnly;
+#endif
+}
+
+std::size_t merge_raw(const std::uint32_t* a, std::size_t na,
+                      const std::uint32_t* b, std::size_t nb,
+                      std::uint32_t* out) {
+  switch (active_isa()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kAvx2:
+      return detail::intersect_merge_avx2(a, na, b, nb, out);
+    case Isa::kSse2:
+      return merge_sse2_raw(a, na, b, nb, out);
+#endif
+    default:
+      return scalar_raw(a, na, b, nb, out);
+  }
+}
+
+/// Accumulates one call into the thread's counters for `kernel`; ns only
+/// while timing is enabled (benches), so the steady state stays cheap adds.
+class Record {
+ public:
+  Record(Kernel kernel, std::size_t elements)
+      : c_(stats_for_thread().k[static_cast<std::size_t>(kernel)]),
+        t0_(g_timing.load(std::memory_order_relaxed) ? now_ns() : 0) {
+    ++c_.calls;
+    c_.elements += elements;
+  }
+  ~Record() {
+    c_.matches += matches_;
+    if (t0_ != 0) c_.ns += now_ns() - t0_;
+  }
+  std::size_t done(std::size_t matches) {
+    matches_ = matches;
+    return matches;
+  }
+
+ private:
+  KernelCounters& c_;
+  std::uint64_t t0_;
+  std::size_t matches_ = 0;
+};
+
+}  // namespace
+
+const char* kernel_name(Kernel k) {
+  static constexpr const char* kNames[kKernelCount] = {"scalar", "merge",
+                                                       "bitmap"};
+  return kNames[static_cast<std::size_t>(k)];
+}
+
+const char* isa_name(Isa isa) {
+  static constexpr const char* kNames[3] = {"scalar", "sse2", "avx2"};
+  return kNames[static_cast<std::size_t>(isa)];
+}
+
+bool force_scalar() {
+  int v = g_force_scalar.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("XD_FORCE_SCALAR");
+    v = (e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) ? 1
+                                                                         : 0;
+    g_force_scalar.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_force_scalar(bool on) {
+  g_force_scalar.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Isa active_isa() {
+  if (force_scalar()) return Isa::kScalarOnly;
+  static const Isa isa = detect_isa();
+  return isa;
+}
+
+bool use_bitmap(std::size_t reused_degree) {
+  return reused_degree >= kBitmapMinDegree && !force_scalar();
+}
+
+KernelStats& stats_for_thread() {
+  thread_local KernelStats stats;
+  return stats;
+}
+
+void reset_thread_stats() { stats_for_thread() = KernelStats{}; }
+
+void set_timing_enabled(bool on) {
+  g_timing.store(on, std::memory_order_relaxed);
+}
+
+bool timing_enabled() { return g_timing.load(std::memory_order_relaxed); }
+
+std::size_t intersect_scalar(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb,
+                             std::uint32_t* out) {
+  Record rec(Kernel::kScalar, na + nb);
+  return rec.done(scalar_raw(a, na, b, nb, out));
+}
+
+std::size_t intersect_merge(const std::uint32_t* a, std::size_t na,
+                            const std::uint32_t* b, std::size_t nb,
+                            std::uint32_t* out) {
+  Record rec(Kernel::kMerge, na + nb);
+  return rec.done(merge_raw(a, na, b, nb, out));
+}
+
+std::size_t intersect_sorted(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb,
+                             std::uint32_t* out) {
+  if (std::min(na, nb) < kMergeMinSize || active_isa() == Isa::kScalarOnly) {
+    return intersect_scalar(a, na, b, nb, out);
+  }
+  return intersect_merge(a, na, b, nb, out);
+}
+
+void BitmapIntersect::build(const std::uint32_t* r, std::size_t nr) {
+  const std::uint64_t t0 =
+      g_timing.load(std::memory_order_relaxed) ? now_ns() : 0;
+  auto& c = stats_for_thread().k[static_cast<std::size_t>(Kernel::kBitmap)];
+  c.elements += nr;  // build cost charged to the bitmap class, no call
+  nr_ = nr;
+  if (nr == 0) return;
+  r_min_ = r[0];
+  r_max_ = r[nr - 1];
+  r_bits_.begin_epoch(static_cast<std::size_t>(r_max_) + 1);
+  for (std::size_t i = 0; i < nr; ++i) r_bits_.set(r[i]);
+  if (t0 != 0) c.ns += now_ns() - t0;
+}
+
+std::size_t BitmapIntersect::probe(const std::uint32_t* q, std::size_t nq,
+                                   std::uint32_t* out) {
+  Record rec(Kernel::kBitmap, nq);
+  if (nr_ == 0 || nq == 0) return rec.done(0);
+  // Only the overlap with R's value span can match.
+  const std::uint32_t* q_lo = std::lower_bound(q, q + nq, r_min_);
+  const std::uint32_t* q_hi = std::upper_bound(q_lo, q + nq, r_max_);
+  if (q_lo == q_hi) return rec.done(0);
+  const std::size_t m = static_cast<std::size_t>(q_hi - q_lo);
+  const std::size_t w_lo = *q_lo >> 6;
+  const std::size_t w_hi = (*(q_hi - 1) >> 6) + 1;
+  std::size_t k = 0;
+  if (m >= 2 * (w_hi - w_lo)) {
+    // Dense query: materialize Q's bitmap and extract from word ANDs.
+    q_bits_.begin_epoch(static_cast<std::size_t>(*(q_hi - 1)) + 1);
+    for (const std::uint32_t* p = q_lo; p != q_hi; ++p) q_bits_.set(*p);
+    if (active_isa() == Isa::kAvx2) {
+      k = detail::bitmap_and_extract_avx2(r_bits_.slots_data(),
+                                          r_bits_.epoch(),
+                                          q_bits_.slots_data(),
+                                          q_bits_.epoch(), w_lo, w_hi, out);
+    } else {
+      for (std::size_t w = w_lo; w < w_hi; ++w) {
+        std::uint64_t bits = r_bits_.word(w) & q_bits_.word(w);
+        while (bits != 0) {
+          out[k++] = static_cast<std::uint32_t>(
+              (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits)));
+          bits &= bits - 1;
+        }
+      }
+    }
+  } else {
+    // Sparse query: stamped bit tests, each one random slot access into a
+    // slab that may live in L2+; run a short prefetch distance ahead.
+    constexpr std::size_t kPrefetch = 8;
+    for (const std::uint32_t* p = q_lo; p != q_hi; ++p) {
+      if (p + kPrefetch < q_hi) r_bits_.prefetch(p[kPrefetch]);
+      if (r_bits_.test(*p)) out[k++] = *p;
+    }
+  }
+  return rec.done(k);
+}
+
+BitmapIntersect& BitmapIntersect::for_thread() {
+  thread_local BitmapIntersect arena;
+  return arena;
+}
+
+}  // namespace xd::triangle::intersect

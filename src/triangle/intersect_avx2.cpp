@@ -1,0 +1,194 @@
+// AVX2 kernel bodies for triangle/intersect.hpp, isolated in their own
+// translation unit so CMake can compile exactly this file with -mavx2
+// while the rest of the library stays at the baseline ISA.  Dispatch
+// (intersect.cpp) only calls these after checking avx2_compiled() AND
+// runtime CPU support, so the scalar stubs below are never reached on
+// hardware that cannot execute them.
+
+#include "triangle/intersect.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace xd::triangle::intersect::detail {
+
+bool avx2_compiled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__AVX2__)
+
+namespace {
+
+/// mask (8 bits) -> permutation indices packing the set lanes to the front;
+/// fed to _mm256_permutevar8x32_epi32 for the compress store.
+struct CompressLut {
+  alignas(32) std::uint32_t idx[256][8];
+  CompressLut() {
+    for (int m = 0; m < 256; ++m) {
+      int k = 0;
+      for (int b = 0; b < 8; ++b) {
+        if ((m & (1 << b)) != 0) idx[m][k++] = static_cast<std::uint32_t>(b);
+      }
+      for (; k < 8; ++k) idx[m][k] = 0;
+    }
+  }
+};
+const CompressLut kLut;
+
+}  // namespace
+
+std::size_t intersect_merge_avx2(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  if (na >= 8 && nb >= 8) {
+    // Lane-rotation index vectors for the all-pairs block compare.
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    while (true) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      // Each va lane matches at most one vb lane (both blocks strictly
+      // ascending); OR the eight rotations into one per-lane hit mask.
+      __m256i eq = _mm256_cmpeq_epi32(va, vb);
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6)));
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7)));
+      const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+      // Compress the matched va lanes to the front and bulk-store; the
+      // store may write up to kOutSlack lanes past the real matches.
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kLut.idx[mask]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                          _mm256_permutevar8x32_epi32(va, perm));
+      k += static_cast<std::size_t>(__builtin_popcount(
+          static_cast<unsigned>(mask)));
+      // Advance the block whose maximum is smaller (both on a tie); values
+      // at or below that maximum have been compared against everything
+      // they could match.
+      const std::uint32_t a_max = a[i + 7];
+      const std::uint32_t b_max = b[j + 7];
+      if (a_max <= b_max) i += 8;
+      if (b_max <= a_max) j += 8;
+      if (i + 8 > na || j + 8 > nb) break;
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+namespace {
+
+/// Loads slots [w, w+4) of an interleaved (stamp, word) slab and returns
+/// the stamp-masked words in lane order [w0, w1, w2, w3].
+inline __m256i masked_words(const util::StampedSlot* slab, std::size_t w,
+                            __m256i epoch) {
+  // Two 256-bit loads cover four slots: [s0 w0 s1 w1] and [s2 w2 s3 w3].
+  const __m256i lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slab + w));
+  const __m256i hi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slab + w + 2));
+  // Per-128-lane unpack splits stamps from words in the permuted order
+  // [x0 x2 x1 x3]; both operands share the permutation, so masking is
+  // order-oblivious and one permute4x64 restores lane order at the end.
+  const __m256i stamps = _mm256_unpacklo_epi64(lo, hi);
+  const __m256i words = _mm256_unpackhi_epi64(lo, hi);
+  const __m256i masked =
+      _mm256_and_si256(words, _mm256_cmpeq_epi64(stamps, epoch));
+  return _mm256_permute4x64_epi64(masked, 0xD8);  // [0 2 1 3] -> [0 1 2 3]
+}
+
+}  // namespace
+
+std::size_t bitmap_and_extract_avx2(const util::StampedSlot* r,
+                                    std::uint64_t r_epoch,
+                                    const util::StampedSlot* q,
+                                    std::uint64_t q_epoch, std::size_t w_lo,
+                                    std::size_t w_hi, std::uint32_t* out) {
+  std::size_t k = 0;
+  std::size_t w = w_lo;
+  const __m256i vre = _mm256_set1_epi64x(static_cast<long long>(r_epoch));
+  const __m256i vqe = _mm256_set1_epi64x(static_cast<long long>(q_epoch));
+  for (; w + 4 <= w_hi; w += 4) {
+    // Stamp-mask each slab (a word participates only if written this
+    // epoch), then AND; skip fully empty 256-bit blocks with one test.
+    const __m256i x = _mm256_and_si256(masked_words(r, w, vre),
+                                       masked_words(q, w, vqe));
+    if (_mm256_testz_si256(x, x) != 0) continue;
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), x);
+    for (std::size_t t = 0; t < 4; ++t) {
+      std::uint64_t bits = lanes[t];
+      while (bits != 0) {
+        out[k++] = static_cast<std::uint32_t>(
+            ((w + t) << 6) + static_cast<std::size_t>(__builtin_ctzll(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+  for (; w < w_hi; ++w) {
+    std::uint64_t bits = (r[w].stamp == r_epoch ? r[w].word : 0) &
+                         (q[w].stamp == q_epoch ? q[w].word : 0);
+    while (bits != 0) {
+      out[k++] = static_cast<std::uint32_t>(
+          (w << 6) + static_cast<std::size_t>(__builtin_ctzll(bits)));
+      bits &= bits - 1;
+    }
+  }
+  return k;
+}
+
+#else  // !__AVX2__: never dispatched (avx2_compiled() is false); keep the
+       // symbols defined so the library links on any toolchain.
+
+std::size_t intersect_merge_avx2(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint32_t* out) {
+  return intersect_scalar(a, na, b, nb, out);
+}
+
+std::size_t bitmap_and_extract_avx2(const util::StampedSlot*, std::uint64_t,
+                                    const util::StampedSlot*, std::uint64_t,
+                                    std::size_t, std::size_t, std::uint32_t*) {
+  return 0;
+}
+
+#endif
+
+}  // namespace xd::triangle::intersect::detail

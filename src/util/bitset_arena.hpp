@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file bitset_arena.hpp
+/// Epoch-stamped bitmap arena: O(1) logical clears for dense bit sets.
+///
+/// The bitmap intersection kernel (triangle/intersect.hpp) builds a bitmap
+/// of a high-degree adjacency range once per hub vertex and probes it many
+/// times.  Zeroing the slab per hub would cost O(universe/64) and allocate
+/// under growth, so the arena follows the StampedMap discipline
+/// (scratch.hpp) at word granularity: a 64-bit word is valid iff its stamp
+/// equals the current epoch, and begin_epoch() is O(1) whenever the domain
+/// fits the retained capacity.  A stale word is lazily zeroed on first
+/// write; reads treat it as all-zero via the stamp check.
+///
+/// Each word and its stamp share one 16-byte slot.  Sparse probes hit
+/// random words of a slab that outgrows L1 at million-vertex universes;
+/// with split stamp/word arrays every probe paid two cache misses, with
+/// the interleaved slot it pays one (the aligned pair never straddles a
+/// line).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/scratch.hpp"
+
+namespace xd::util {
+
+/// One bitmap word plus its epoch stamp; the word is valid iff
+/// stamp == the slab's current epoch.  16-byte alignment keeps the pair
+/// within a single cache line.
+struct alignas(16) StampedSlot {
+  std::uint64_t stamp;
+  std::uint64_t word;
+};
+
+/// Bit set over [0, universe) with O(1) logical clear.  The 64-bit epoch
+/// cannot wrap in practice, so stale stamps never read as current.
+class StampedBitset {
+ public:
+  /// Starts a new epoch over [0, universe): every bit reads as clear.
+  /// O(1) unless the domain outgrew the retained slab (then O(words), once
+  /// per high-water mark).
+  void begin_epoch(std::size_t universe) {
+    ++epoch_;
+    const std::size_t words = (universe + 63) / 64;
+    if (words > slots_.size()) {
+      // epoch_ >= 1, so stamp 0 is never current.
+      slots_.assign(words, StampedSlot{0, 0});
+      ++stats_.grown;
+    } else {
+      ++stats_.reused;
+    }
+  }
+
+  void set(std::uint32_t i) {
+    StampedSlot& s = slots_[i >> 6];
+    if (s.stamp != epoch_) {
+      s.word = 0;
+      s.stamp = epoch_;
+    }
+    s.word |= std::uint64_t{1} << (i & 63);
+  }
+
+  [[nodiscard]] bool test(std::uint32_t i) const {
+    const StampedSlot& s = slots_[i >> 6];
+    return s.stamp == epoch_ && ((s.word >> (i & 63)) & std::uint64_t{1}) != 0;
+  }
+
+  /// Word w masked by its stamp: all-zero unless written this epoch.  The
+  /// word-AND intersection path streams these.
+  [[nodiscard]] std::uint64_t word(std::size_t w) const {
+    return slots_[w].stamp == epoch_ ? slots_[w].word : 0;
+  }
+
+  /// Prefetches word i's slot (sparse probe loops run a short prefetch
+  /// distance ahead to hide the random-access miss).
+  void prefetch(std::uint32_t i) const {
+    __builtin_prefetch(&slots_[i >> 6], 0, 1);
+  }
+
+  /// Raw slab access for vectorized word-AND kernels: the caller masks each
+  /// slot's word by (stamp == epoch()) itself, 2 slots per 256-bit lane.
+  [[nodiscard]] const StampedSlot* slots_data() const { return slots_.data(); }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t word_capacity() const { return slots_.size(); }
+
+  [[nodiscard]] const ScratchStats& stats() const { return stats_; }
+
+ private:
+  std::vector<StampedSlot> slots_;
+  std::uint64_t epoch_ = 0;
+  ScratchStats stats_;
+};
+
+}  // namespace xd::util

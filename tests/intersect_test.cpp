@@ -1,0 +1,320 @@
+#include "triangle/intersect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "triangle/baseline_local.hpp"
+#include "triangle/bucket_join.hpp"
+#include "triangle/triple_rank.hpp"
+#include "util/bitset_arena.hpp"
+#include "util/rng.hpp"
+
+namespace xd::triangle::intersect {
+namespace {
+
+/// Restores the forced-scalar flag on scope exit so tests compose with the
+/// XD_FORCE_SCALAR=1 CTest variant (which runs this whole suite pinned).
+class ForceScalarGuard {
+ public:
+  ForceScalarGuard() : saved_(force_scalar()) {}
+  ~ForceScalarGuard() { set_force_scalar(saved_); }
+
+ private:
+  bool saved_;
+};
+
+std::vector<std::uint32_t> reference_intersection(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Strictly-ascending test ranges across the degree-skew families the
+/// consumers produce: dense contiguous runs (clique cores), sparse wide
+/// spreads (star leaves / hash-spread bucket runs), power-law gap mixes,
+/// strided lattices, plus the empty/singleton edges.
+std::vector<std::uint32_t> make_range(const std::string& family,
+                                      std::size_t size, Rng& rng) {
+  std::vector<std::uint32_t> v;
+  v.reserve(size);
+  if (family == "clique") {
+    const std::uint32_t base = static_cast<std::uint32_t>(rng.next_below(64));
+    for (std::size_t i = 0; i < size; ++i) {
+      v.push_back(base + static_cast<std::uint32_t>(i));
+    }
+  } else if (family == "sparse") {
+    std::uint32_t x = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      x += 1 + static_cast<std::uint32_t>(rng.next_below(257));
+      v.push_back(x);
+    }
+  } else if (family == "powerlaw") {
+    // Mostly unit gaps with occasional huge jumps: hub-adjacency shape.
+    std::uint32_t x = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      const std::uint32_t gap =
+          rng.next_bool(0.9) ? 1
+                             : 1 + static_cast<std::uint32_t>(
+                                       rng.next_below(1u << 14));
+      x += gap;
+      v.push_back(x);
+    }
+  } else {  // "strided"
+    const std::uint32_t stride =
+        1 + static_cast<std::uint32_t>(rng.next_below(7));
+    std::uint32_t x = static_cast<std::uint32_t>(rng.next_below(16));
+    for (std::size_t i = 0; i < size; ++i) {
+      v.push_back(x);
+      x += stride;
+    }
+  }
+  return v;
+}
+
+std::vector<std::uint32_t> run_kernel(
+    const std::string& kernel, const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out(std::min(a.size(), b.size()) + kOutSlack);
+  std::size_t cnt = 0;
+  if (kernel == "scalar") {
+    cnt = intersect_scalar(a.data(), a.size(), b.data(), b.size(), out.data());
+  } else if (kernel == "merge") {
+    cnt = intersect_merge(a.data(), a.size(), b.data(), b.size(), out.data());
+  } else if (kernel == "dispatch") {
+    cnt = intersect_sorted(a.data(), a.size(), b.data(), b.size(), out.data());
+  } else {  // "bitmap": build the first range, probe with the second
+    out.assign(b.size() + kOutSlack, 0);
+    auto& bm = BitmapIntersect::for_thread();
+    bm.build(a.data(), a.size());
+    cnt = bm.probe(b.data(), b.size(), out.data());
+  }
+  out.resize(cnt);
+  return out;
+}
+
+// Every kernel class, both argument orders, against std::set_intersection
+// across the size x skew grid -- the differential property grid of the
+// hybrid subsystem.  Exact sequences, not just counts: the consumers'
+// bit-identity guarantee rests on all kernels emitting the same ascending
+// order.
+TEST(IntersectKernels, PropertyGridMatchesReference) {
+  const std::string families[] = {"clique", "sparse", "powerlaw", "strided"};
+  const std::size_t sizes[] = {0, 1, 2, 3, 7, 8, 15, 16, 17, 63, 64, 100, 513};
+  const std::string kernels[] = {"scalar", "merge", "bitmap", "dispatch"};
+  Rng rng(42);
+  for (const auto& fa : families) {
+    for (const auto& fb : families) {
+      for (const std::size_t sa : sizes) {
+        for (const std::size_t sb : sizes) {
+          if (sa * sb > 64 * 513) continue;  // keep the grid fast
+          const auto a = make_range(fa, sa, rng);
+          const auto b = make_range(fb, sb, rng);
+          const auto want = reference_intersection(a, b);
+          for (const auto& kernel : kernels) {
+            EXPECT_EQ(run_kernel(kernel, a, b), want)
+                << kernel << " on " << fa << "(" << sa << ") x " << fb << "("
+                << sb << ")";
+            EXPECT_EQ(run_kernel(kernel, b, a), want)
+                << kernel << " swapped on " << fa << "(" << sa << ") x " << fb
+                << "(" << sb << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+// Forced-scalar output must match the dispatched (possibly SIMD) output
+// exactly -- the guarantee the XD_FORCE_SCALAR CI variant rests on.
+TEST(IntersectKernels, ForcedScalarBitIdentical) {
+  ForceScalarGuard guard;
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = make_range("powerlaw", 200 + rng.next_below(200), rng);
+    const auto b = make_range("sparse", 200 + rng.next_below(200), rng);
+    set_force_scalar(false);
+    const auto dispatched = run_kernel("dispatch", a, b);
+    const auto bitmap = run_kernel("bitmap", a, b);
+    set_force_scalar(true);
+    EXPECT_EQ(active_isa(), Isa::kScalarOnly);
+    EXPECT_FALSE(use_bitmap(1u << 20));
+    const auto forced = run_kernel("dispatch", a, b);
+    EXPECT_EQ(forced, dispatched) << "trial " << trial;
+    EXPECT_EQ(bitmap, dispatched) << "trial " << trial;
+  }
+}
+
+TEST(IntersectKernels, IsaReportingConsistent) {
+  ForceScalarGuard guard;
+  set_force_scalar(false);
+  const Isa isa = active_isa();
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_NE(isa, Isa::kScalarOnly);  // SSE2 is baseline on x86-64
+  if (detail::avx2_compiled() && __builtin_cpu_supports("avx2")) {
+    EXPECT_EQ(isa, Isa::kAvx2);
+  }
+#endif
+  EXPECT_STREQ(isa_name(Isa::kScalarOnly), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kSse2), "sse2");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(kernel_name(Kernel::kScalar), "scalar");
+  EXPECT_STREQ(kernel_name(Kernel::kMerge), "merge");
+  EXPECT_STREQ(kernel_name(Kernel::kBitmap), "bitmap");
+}
+
+TEST(IntersectKernels, StatsAttributePerKernelClass) {
+  ForceScalarGuard guard;
+  set_force_scalar(false);
+  reset_thread_stats();
+  Rng rng(3);
+  const auto a = make_range("clique", 4096, rng);
+  const auto b = make_range("clique", 4096, rng);
+  std::vector<std::uint32_t> out(a.size() + kOutSlack);
+
+  (void)intersect_scalar(a.data(), a.size(), b.data(), b.size(), out.data());
+  (void)intersect_merge(a.data(), a.size(), b.data(), b.size(), out.data());
+  auto& bm = BitmapIntersect::for_thread();
+  bm.build(a.data(), a.size());
+  (void)bm.probe(b.data(), b.size(), out.data());
+
+  const KernelStats& s = stats_for_thread();
+  EXPECT_EQ(s.of(Kernel::kScalar).calls, 1u);
+  EXPECT_EQ(s.of(Kernel::kScalar).elements, a.size() + b.size());
+  EXPECT_EQ(s.of(Kernel::kMerge).calls, 1u);
+  EXPECT_EQ(s.of(Kernel::kBitmap).calls, 1u);  // probe; build charges elements
+  EXPECT_EQ(s.of(Kernel::kBitmap).elements, a.size() + b.size());
+  EXPECT_GT(s.of(Kernel::kScalar).matches, 0u);
+  // ns accumulates only while a bench enables timing.
+  EXPECT_EQ(s.of(Kernel::kScalar).ns, 0u);
+  set_timing_enabled(true);
+  (void)intersect_scalar(a.data(), a.size(), b.data(), b.size(), out.data());
+  set_timing_enabled(false);
+  EXPECT_GT(stats_for_thread().of(Kernel::kScalar).ns, 0u);
+  reset_thread_stats();
+  EXPECT_EQ(stats_for_thread().of(Kernel::kScalar).calls, 0u);
+}
+
+TEST(StampedBitset, EpochsLogicallyClear) {
+  util::StampedBitset bits;
+  bits.begin_epoch(200);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(199);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(199));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.word(0), (std::uint64_t{1} << 63) | 1u);
+  bits.begin_epoch(200);  // O(1) logical clear
+  EXPECT_FALSE(bits.test(0));
+  EXPECT_FALSE(bits.test(199));
+  EXPECT_EQ(bits.word(0), 0u);  // stale word reads zero via the stamp
+  EXPECT_EQ(bits.stats().grown, 1u);
+  EXPECT_EQ(bits.stats().reused, 1u);
+  bits.begin_epoch(4096);  // growth re-stamps
+  EXPECT_EQ(bits.stats().grown, 2u);
+  bits.set(4095);
+  EXPECT_TRUE(bits.test(4095));
+  EXPECT_FALSE(bits.test(63));
+}
+
+/// Random CSR built the way enumerate_local_baseline builds its plane:
+/// sorted loop-free neighbor lists.  `hub_every` wires dense hubs in to
+/// push runs past kBitmapMinDegree.
+struct Csr {
+  std::vector<std::uint32_t> offsets;
+  std::vector<VertexId> adj;
+};
+
+Csr random_csr(std::size_t n, double p, std::size_t hub_every, Rng& rng) {
+  std::vector<std::vector<VertexId>> nbrs(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool hub = (hub_every != 0) && (u % hub_every == 0);
+      if (hub || rng.next_bool(p)) {
+        nbrs[u].push_back(v);
+        nbrs[v].push_back(u);
+      }
+    }
+  }
+  Csr csr;
+  csr.offsets.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(nbrs[v].begin(), nbrs[v].end());
+    csr.adj.insert(csr.adj.end(), nbrs[v].begin(), nbrs[v].end());
+    csr.offsets[v + 1] = static_cast<std::uint32_t>(csr.adj.size());
+  }
+  return csr;
+}
+
+// The kernelized CSR join against the retained PR 4 two-pointer oracle --
+// content AND order -- on shapes that exercise all three kernel classes
+// (sparse tails -> scalar, mid-density -> merge, hubs -> bitmap).
+TEST(IntersectConsumers, CsrJoinMatchesReference) {
+  Rng rng(11);
+  struct Shape {
+    std::size_t n;
+    double p;
+    std::size_t hub_every;
+  };
+  const Shape shapes[] = {{40, 0.1, 0}, {120, 0.3, 0}, {200, 0.05, 3},
+                          {260, 0.5, 1}, {90, 0.0, 1},  {8, 1.0, 0}};
+  for (const auto& shape : shapes) {
+    const Csr csr = random_csr(shape.n, shape.p, shape.hub_every, rng);
+    std::vector<Triangle> got;
+    std::vector<Triangle> want;
+    csr_triangle_join(csr.offsets.data(), csr.adj.data(), shape.n, got);
+    csr_triangle_join_reference(csr.offsets.data(), csr.adj.data(), shape.n,
+                                want);
+    EXPECT_EQ(got, want) << "n=" << shape.n << " p=" << shape.p
+                         << " hub_every=" << shape.hub_every;
+  }
+}
+
+// The kernelized proxy-bucket join against the retained probe join on
+// random tuple planes, including planes dense enough to cross the bitmap
+// threshold inside single runs.
+TEST(IntersectConsumers, BucketJoinMatchesProbeJoin) {
+  Rng rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::uint32_t p = 2 + static_cast<std::uint32_t>(trial);
+    const TripleRanker ranker(p);
+    const std::size_t n = 40 + 30 * static_cast<std::size_t>(trial);
+    std::vector<std::uint32_t> groups(n);
+    for (auto& g : groups) {
+      g = static_cast<std::uint32_t>(rng.next_below(p));
+    }
+    const double density = trial % 2 == 0 ? 0.2 : 0.7;
+    std::vector<ProxyTuple> tuples;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (!rng.next_bool(density)) continue;
+        // Ship the edge to every proxy triple containing its group pair,
+        // exactly like the data planes do.
+        for (std::uint32_t w = 0; w < p; ++w) {
+          tuples.push_back(
+              ProxyTuple{ranker.rank(groups[u], groups[v], w), u, v});
+        }
+      }
+    }
+    auto shuffled = tuples;
+    JoinScratch js1;
+    JoinScratch js2;
+    std::vector<Triangle> got;
+    std::vector<Triangle> want;
+    join_proxy_buckets(tuples, ranker, groups.data(), js1, got);
+    join_proxy_buckets_probe(shuffled, ranker, groups.data(), js2, want);
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace xd::triangle::intersect

@@ -7,6 +7,7 @@
 #include "triangle/baseline_local.hpp"
 #include "triangle/clique_dlp.hpp"
 #include "triangle/cluster_enum.hpp"
+#include "triangle/intersect.hpp"
 #include "util/check.hpp"
 
 namespace xd::triangle {
@@ -251,6 +252,32 @@ TEST(ClusterEnum, ScratchArenaReusedAcrossClustersAndLevels) {
   // hit served from the retained slab.
   EXPECT_EQ(after.reused - warm.reused, res.clusters_processed);
   EXPECT_EQ(ground_truth(g).size(), res.triangles.size());
+}
+
+// Forced-scalar and dispatched (SIMD) enumeration must be bit-identical --
+// same triangles, same order, same round count -- at every scheduler
+// thread count (per-thread kernel arenas are thread-disjoint).
+TEST(CongestEnum, ForcedScalarBitIdenticalAcrossThreads) {
+  const bool saved = intersect::force_scalar();
+  Rng grng(51);
+  const Graph g = gen::planted_partition(90, 3, 0.6, 0.05, grng);
+  for (const int threads : {0, 1, 2, 8}) {
+    EnumParams prm;
+    prm.scheduler_threads = threads;
+    const auto run = [&] {
+      Rng rng(23);
+      congest::RoundLedger ledger;
+      return enumerate_congest(g, prm, rng, ledger);
+    };
+    intersect::set_force_scalar(false);
+    const auto dispatched = run();
+    intersect::set_force_scalar(true);
+    const auto forced = run();
+    EXPECT_EQ(dispatched.triangles, forced.triangles) << "threads=" << threads;
+    EXPECT_EQ(dispatched.rounds, forced.rounds) << "threads=" << threads;
+    EXPECT_EQ(dispatched.triangles, ground_truth(g)) << "threads=" << threads;
+  }
+  intersect::set_force_scalar(saved);
 }
 
 TEST(CongestEnum, ReportsDiagnostics) {

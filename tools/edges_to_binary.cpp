@@ -1,0 +1,36 @@
+// Converts a text edge list ("n m" header, then one "u v" pair per line)
+// into the XDG1 binary format that read_binary_edge_list_file loads at
+// bench scale (docs/io.md).  Usage:
+//
+//   edges_to_binary IN.txt OUT.xdg
+//
+// The converter parses with the text reader (so malformed inputs fail with
+// the same diagnostics as the library) and writes every edge verbatim --
+// dedup and loop policy are the *loader's* job, keeping the binary file a
+// faithful transcription of the text one.
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "graph/io.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: " << argv[0] << " IN.txt OUT.xdg\n";
+    return 2;
+  }
+  const std::string in = argv[1];
+  const std::string out = argv[2];
+  try {
+    const xd::Graph g = xd::read_edge_list_file(in);
+    xd::write_binary_edge_list_file(g, out);
+    std::cout << "wrote " << out << ": n=" << g.num_vertices()
+              << " m=" << g.num_edges() << " (" << g.num_loops()
+              << " loops)\n";
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
