@@ -98,6 +98,9 @@ class Outbox {
   Network* net_;
   detail::StagingBuffer* buf_;
   VertexId vertex_ = 0;
+  /// Sender shard when the executor runs the sharded plane (>= 0): sends
+  /// route straight into that shard's aggregation buffers instead of buf_.
+  int shard_ = -1;
 };
 
 /// One round-synchronous protocol step, run by Network::run_round.

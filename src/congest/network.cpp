@@ -1,6 +1,7 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "congest/scheduler.hpp"
 #include "util/check.hpp"
@@ -17,11 +18,25 @@ Network::Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed)
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     rngs_.push_back(master.fork(v));
   }
+  // XD_SHARDS > 1 turns the sharded plane on for every network in the
+  // process -- how the *_sharded CTest variants re-run whole suites over
+  // the plane without touching call sites (docs/sharding.md).
+  if (const char* env = std::getenv("XD_SHARDS")) {
+    const int s = std::atoi(env);
+    if (s > 1) set_shards(s);
+  }
 }
 
 void Network::set_threads(int threads) {
   XD_CHECK_MSG(threads >= 1, "thread count must be >= 1");
   threads_ = threads;
+}
+
+void Network::set_shards(int shards) {
+  XD_CHECK_MSG(shards >= 1, "shard count must be >= 1");
+  XD_CHECK_MSG(staged() == 0,
+               "cannot reshard while " << staged() << " messages are staged");
+  plane_.configure(*graph_, shards);
 }
 
 void Network::stage(detail::StagingBuffer& buf, VertexId from,
@@ -48,11 +63,46 @@ void Network::stage_to(detail::StagingBuffer& buf, VertexId from, VertexId to,
   buf.push(graph_->slot_base(from) + slot, from, msg);
 }
 
+void Network::stage_sharded(int sender_shard, VertexId from,
+                            std::uint32_t slot, const Message& msg) {
+  XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
+  XD_CHECK_MSG(slot < graph_->degree(from),
+               "slot " << slot << " out of range for vertex " << from);
+  const VertexId to = graph_->neighbors(from)[slot];
+  XD_CHECK_MSG(to != from, "cannot send over a self-loop slot");
+  plane_.stage(sender_shard, graph_->slot_base(from) + slot, from, msg);
+}
+
+void Network::stage_to_sharded(int sender_shard, VertexId from, VertexId to,
+                               const Message& msg) {
+  XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
+  XD_CHECK_MSG(to != from, "cannot send over a self-loop slot");
+  std::uint64_t probes = 0;
+  const std::uint32_t slot = graph_->slot_of(from, to, &probes);
+  slot_lookup_probes_.fetch_add(probes, std::memory_order_relaxed);
+  XD_CHECK_MSG(slot != Graph::kNoSlot,
+               "send_to: {" << from << "," << to << "} is not an edge");
+  plane_.stage(sender_shard, graph_->slot_base(from) + slot, from, msg);
+}
+
 void Network::send(VertexId from, std::uint32_t slot, const Message& msg) {
+  // Sharded, staging aggregates at the sender: records go straight into the
+  // sender shard's per-destination buffers (per-sender staging order -- the
+  // only order the canonical delivery sort can observe -- is preserved).
+  if (plane_.active()) {
+    XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
+    stage_sharded(plane_.shard_of(from), from, slot, msg);
+    return;
+  }
   stage(outbox_, from, slot, msg);
 }
 
 void Network::send_to(VertexId from, VertexId to, const Message& msg) {
+  if (plane_.active()) {
+    XD_CHECK_MSG(from < graph_->num_vertices(), "bad sender " << from);
+    stage_to_sharded(plane_.shard_of(from), from, to, msg);
+    return;
+  }
   stage_to(outbox_, from, to, msg);
 }
 
@@ -67,6 +117,9 @@ std::uint64_t Network::exchange_charging(std::string_view reason,
 
 std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
                                    std::uint64_t rounds_override) {
+  if (plane_.active()) {
+    return do_exchange_sharded(reason, has_override, rounds_override);
+  }
   const std::size_t n = graph_->num_vertices();
   const std::size_t staged_count = outbox_.size();
   XD_CHECK_MSG(staged_count < (std::uint64_t{1} << 32),
@@ -118,7 +171,12 @@ std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
       // points at now is almost always the line we will touch.
       if (i + 12 < staged_count) {
         const VertexId ahead = graph_->slot_target(outbox_.slot[i + 12]);
-        __builtin_prefetch(&arena_[cursor_[ahead]], 1, 0);
+        // A tail-heavy receiver's cursor can already sit at the arena end;
+        // clamp so the hint address stays inside (or one past) the
+        // allocation instead of indexing out of bounds.
+        __builtin_prefetch(
+            arena_.data() + std::min<std::size_t>(cursor_[ahead], staged_count),
+            1, 0);
       }
       const VertexId to = graph_->slot_target(outbox_.slot[i]);
       arena_[cursor_[to]++] = Envelope{outbox_.from[i], outbox_.msg[i]};
@@ -182,9 +240,29 @@ std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
     }
   }
 
-  ledger_->count_messages(staged_count);
   outbox_.clear();
+  return finish_exchange(reason, staged_count, max_congestion, has_override,
+                         rounds_override);
+}
 
+std::uint64_t Network::do_exchange_sharded(std::string_view reason,
+                                          bool has_override,
+                                          std::uint64_t rounds_override) {
+  // All staging entry points route into the plane while it is active (and
+  // set_shards refuses pending traffic), so the mixed outbox is empty here.
+  const int workers = std::min(std::max(threads_, 1), plane_.shards());
+  plane_.deliver(inbox_offsets_, workers);
+  const ShardDeliveryStats& st = plane_.last_delivery();
+  return finish_exchange(reason, st.staged, st.max_congestion, has_override,
+                         rounds_override);
+}
+
+std::uint64_t Network::finish_exchange(std::string_view reason,
+                                       std::size_t staged_count,
+                                       std::uint64_t max_congestion,
+                                       bool has_override,
+                                       std::uint64_t rounds_override) {
+  ledger_->count_messages(staged_count);
   std::uint64_t rounds = std::max<std::uint64_t>(max_congestion, 1);
   if (has_override) {
     XD_CHECK_MSG(max_congestion <= std::max<std::uint64_t>(rounds_override, 1),
@@ -198,6 +276,7 @@ std::uint64_t Network::do_exchange(std::string_view reason, bool has_override,
 
 std::uint64_t Network::run_round(VertexProgram& program,
                                  std::string_view reason) {
+  if (plane_.active()) return run_round_sharded(program, reason);
   const std::size_t n = graph_->num_vertices();
   const int workers =
       static_cast<int>(std::min<std::size_t>(std::max(threads_, 1), n ? n : 1));
@@ -247,6 +326,44 @@ std::uint64_t Network::run_round(VertexProgram& program,
   return rounds;
 }
 
+std::uint64_t Network::run_round_sharded(VertexProgram& program,
+                                         std::string_view reason) {
+  const int S = plane_.shards();
+  const int workers = std::min(std::max(threads_, 1), S);
+
+  // Send phase: the shard is the partition unit -- each worker runs whole
+  // shards, staging through stage_sharded straight into that sender
+  // shard's aggregation buffers (rows are disjoint across shards), so
+  // which worker runs a shard can never change what gets staged where.
+  EpochScheduler::run_partitioned(
+      static_cast<std::size_t>(S), workers,
+      [&](int /*w*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          Outbox out(this, nullptr);
+          out.shard_ = static_cast<int>(s);
+          const auto [vlo, vhi] = plane_.shard_range(static_cast<int>(s));
+          for (auto v = static_cast<VertexId>(vlo); v < vhi; ++v) {
+            out.vertex_ = v;
+            program.on_send(v, out);
+          }
+        }
+      });
+
+  const std::uint64_t rounds = do_exchange(reason, false, 0);
+
+  EpochScheduler::run_partitioned(
+      static_cast<std::size_t>(S), workers,
+      [&](int /*w*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const auto [vlo, vhi] = plane_.shard_range(static_cast<int>(s));
+          for (auto v = static_cast<VertexId>(vlo); v < vhi; ++v) {
+            program.on_receive(v, inbox(v));
+          }
+        }
+      });
+  return rounds;
+}
+
 std::uint64_t Network::run_rounds(VertexProgram& program, int rounds,
                                   std::string_view reason) {
   std::uint64_t total = 0;
@@ -261,11 +378,19 @@ void Network::tick(std::uint64_t rounds, std::string_view reason) {
 // ---------------------------------------------------------------- Outbox --
 
 void Outbox::send(std::uint32_t slot, const Message& msg) {
-  net_->stage(*buf_, vertex_, slot, msg);
+  if (shard_ >= 0) {
+    net_->stage_sharded(shard_, vertex_, slot, msg);
+  } else {
+    net_->stage(*buf_, vertex_, slot, msg);
+  }
 }
 
 void Outbox::send_to(VertexId to, const Message& msg) {
-  net_->stage_to(*buf_, vertex_, to, msg);
+  if (shard_ >= 0) {
+    net_->stage_to_sharded(shard_, vertex_, to, msg);
+  } else {
+    net_->stage_to(*buf_, vertex_, to, msg);
+  }
 }
 
 Rng& Outbox::rng() const { return net_->rng(vertex_); }

@@ -32,6 +32,14 @@
 /// Sending over a self-loop slot is rejected: loops are local state, not
 /// channels.  Messages are validated to travel only over edges of the graph
 /// (that *is* the CONGEST model -- no telepathy).
+///
+/// set_shards(S > 1) switches delivery onto the sharded message plane
+/// (shard_plane.hpp): contiguous vertex shards stage into S x S
+/// per-destination aggregation buffers and delivery becomes a bulk buffer
+/// exchange plus per-shard scatter -- results, delivery order, and round
+/// charges are bit-identical to the shared arena at any (shards x threads)
+/// combination.  The XD_SHARDS environment variable sets the construction
+/// default (docs/sharding.md).
 
 #include <atomic>
 #include <cstdint>
@@ -42,6 +50,7 @@
 #include "congest/engine.hpp"
 #include "congest/ledger.hpp"
 #include "congest/message.hpp"
+#include "congest/shard_plane.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -86,14 +95,18 @@ class Network {
   void tick(std::uint64_t rounds, std::string_view reason);
 
   /// Messages delivered to v in the last exchange: a span into the flat
-  /// arena, ordered by (sender, sender slot).
+  /// arena (or, sharded, into v's shard's arena -- same contents, same
+  /// order), ordered by (sender, sender slot).
   [[nodiscard]] std::span<const Envelope> inbox(VertexId v) const {
+    if (plane_.active()) return plane_.inbox(v, inbox_offsets_);
     return {arena_.data() + inbox_offsets_[v],
             inbox_offsets_[v + 1] - inbox_offsets_[v]};
   }
 
   /// Total messages staged for the pending exchange (diagnostics).
-  [[nodiscard]] std::size_t staged() const { return outbox_.size(); }
+  [[nodiscard]] std::size_t staged() const {
+    return outbox_.size() + plane_.staged();
+  }
 
   // ---------------------------------------------------------- round engine
 
@@ -112,6 +125,20 @@ class Network {
   void set_threads(int threads);
   [[nodiscard]] int threads() const { return threads_; }
 
+  /// Opt-in sharded message plane: S contiguous vertex shards exchanging
+  /// S x S aggregation buffers (shard_plane.hpp).  S = 1 restores the
+  /// shared-arena path; every S is bit-identical to it.  Rejected while
+  /// messages are staged (the pending traffic would be orphaned).  The
+  /// XD_SHARDS environment variable (> 1) sets the construction default.
+  void set_shards(int shards);
+  [[nodiscard]] int shards() const { return plane_.shards(); }
+
+  /// Totals and per-shard buffer/scatter timings of the last sharded
+  /// delivery (bench_kernel's breakdown; empty stats while unsharded).
+  [[nodiscard]] const ShardDeliveryStats& shard_delivery_stats() const {
+    return plane_.last_delivery();
+  }
+
   /// Total binary-search probes spent in send_to slot lookups (diagnostics;
   /// the star-broadcast regression test asserts this stays O(S log deg)).
   [[nodiscard]] std::uint64_t slot_lookup_probes() const {
@@ -126,11 +153,30 @@ class Network {
              const Message& msg);
   void stage_to(detail::StagingBuffer& buf, VertexId from, VertexId to,
                 const Message& msg);
+  /// Sharded send-phase staging: same validation, routed straight into the
+  /// sender shard's aggregation buffers (safe across distinct shards).
+  void stage_sharded(int sender_shard, VertexId from, std::uint32_t slot,
+                     const Message& msg);
+  void stage_to_sharded(int sender_shard, VertexId from, VertexId to,
+                        const Message& msg);
 
   /// Canonicalize + deliver outbox_ into the arena; charge and return
   /// rounds.
   std::uint64_t do_exchange(std::string_view reason, bool has_override,
                             std::uint64_t rounds_override);
+  /// Delivery via the S x S aggregation-buffer exchange (plane_ active).
+  std::uint64_t do_exchange_sharded(std::string_view reason, bool has_override,
+                                    std::uint64_t rounds_override);
+  /// Shared charging tail of both delivery paths: message accounting, the
+  /// congestion-vs-override check, and the round charge.
+  std::uint64_t finish_exchange(std::string_view reason,
+                                std::size_t staged_count,
+                                std::uint64_t max_congestion, bool has_override,
+                                std::uint64_t rounds_override);
+  /// run_round over the sharded plane: shards are the partition unit for
+  /// both phases, so results are bit-identical at any worker count.
+  std::uint64_t run_round_sharded(VertexProgram& program,
+                                  std::string_view reason);
 
   const Graph* graph_;
   RoundLedger* ledger_;
@@ -152,6 +198,8 @@ class Network {
   std::vector<std::uint32_t> slot_counts_;
   /// Per-worker staging buffers for the parallel executor.
   std::vector<detail::StagingBuffer> worker_bufs_;
+  /// Sharded delivery plane; inactive (shared arena) until set_shards(> 1).
+  ShardPlane plane_;
 };
 
 }  // namespace xd::congest

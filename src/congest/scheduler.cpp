@@ -11,6 +11,18 @@
 
 namespace xd::congest {
 
+namespace detail {
+
+namespace {
+std::function<void(int)> spawn_fault_hook;
+}  // namespace
+
+void set_spawn_fault_hook_for_testing(std::function<void(int)> hook) {
+  spawn_fault_hook = std::move(hook);
+}
+
+}  // namespace detail
+
 namespace {
 
 /// Spawns `workers` threads over `body(worker)`, joins them, and rethrows
@@ -21,15 +33,26 @@ void spawn_join(int workers, const std::function<void(int)>& body) {
   std::mutex error_mu;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        body(w);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+  try {
+    for (int w = 0; w < workers; ++w) {
+      if (detail::spawn_fault_hook) detail::spawn_fault_hook(w);
+      pool.emplace_back([&, w] {
+        try {
+          body(w);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  } catch (...) {
+    // std::thread construction failed mid-loop (resource exhaustion).
+    // Destroying a joinable thread is std::terminate, so join the partial
+    // pool before surfacing the spawn failure.  Body exceptions from those
+    // workers are dropped in favor of the spawn error -- the epoch did not
+    // run at full width, so its partial results are void anyway.
+    for (auto& t : pool) t.join();
+    throw;
   }
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);

@@ -27,6 +27,16 @@
 
 namespace xd::congest {
 
+namespace detail {
+
+/// Test hook: called with the worker index immediately before that worker's
+/// std::thread is constructed; a throwing hook simulates thread creation
+/// failing mid-loop (resource exhaustion).  Set from a single thread while
+/// no pool is running; pass {} to reset.
+void set_spawn_fault_hook_for_testing(std::function<void(int)> hook);
+
+}  // namespace detail
+
 /// Runs batches ("epochs") of independent work items on a pool of host
 /// threads.  Work-sharing: workers pull the next unclaimed item index from
 /// a shared cursor, so one oversized component keeps the remaining workers

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -14,6 +16,15 @@
 #include "graph/generators.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define XD_IO_TEST_HAVE_FIFO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <thread>
+#endif
 
 namespace xd {
 namespace {
@@ -196,6 +207,78 @@ TEST(BinaryEdgeList, EmptyGraph) {
   EXPECT_EQ(loaded.graph.num_vertices(), 0u);
   EXPECT_EQ(loaded.graph.num_edges(), 0u);
 }
+
+#if XD_IO_TEST_HAVE_FIFO
+
+std::vector<unsigned char> file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+/// Feeds `bytes` into the FIFO in tiny dribbled chunks so the reader's
+/// read(2) calls return short counts -- the condition the streamed loader
+/// must loop through instead of trusting one sized read.
+std::thread dribble_into_fifo(const std::string& fifo,
+                              std::vector<unsigned char> bytes) {
+  return std::thread([fifo, bytes = std::move(bytes)] {
+    const int fd = ::open(fifo.c_str(), O_WRONLY);
+    EXPECT_GE(fd, 0);
+    if (fd < 0) return;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const std::size_t want = std::min<std::size_t>(97, bytes.size() - off);
+      const ssize_t wrote = ::write(fd, bytes.data() + off, want);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        ADD_FAILURE() << "fifo write failed";
+        break;
+      }
+      off += static_cast<std::size_t>(wrote);
+    }
+    ::close(fd);
+  });
+}
+
+TEST(BinaryEdgeList, StreamedPipeLoadMatchesMmapPath) {
+  // A FIFO is not a regular file: the loader cannot mmap or size it, so
+  // this exercises the streamed short-read fallback end to end against the
+  // mmap path's result on identical bytes.
+  Rng rng(10);
+  const Graph g = gen::gnp(120, 0.08, rng);
+  const std::string reg = tmp_path("pipe_src.xdg");
+  write_binary_edge_list_file(g, reg);
+  const std::string fifo = tmp_path("pipe.xdg");
+  ::unlink(fifo.c_str());
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+  std::thread writer = dribble_into_fifo(fifo, file_bytes(reg));
+  const LoadedGraph piped = read_binary_edge_list_file(fifo);
+  writer.join();
+  ::unlink(fifo.c_str());
+  const LoadedGraph mapped = read_binary_edge_list_file(reg);
+  EXPECT_EQ(edge_set(piped.graph), edge_set(mapped.graph));
+  EXPECT_EQ(piped.graph.num_vertices(), mapped.graph.num_vertices());
+}
+
+TEST(BinaryEdgeList, TruncatedPipeSurfacesCheckError) {
+  // The writer closes mid-record-area; EOF on the pipe must surface as the
+  // size check's CheckError, never as a silently smaller graph.
+  Rng rng(11);
+  const Graph g = gen::gnp(60, 0.1, rng);
+  const std::string reg = tmp_path("pipe_trunc_src.xdg");
+  write_binary_edge_list_file(g, reg);
+  std::vector<unsigned char> bytes = file_bytes(reg);
+  ASSERT_GT(bytes.size(), 40u);
+  bytes.resize(bytes.size() / 2);
+  const std::string fifo = tmp_path("pipe_trunc.xdg");
+  ::unlink(fifo.c_str());
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+  std::thread writer = dribble_into_fifo(fifo, std::move(bytes));
+  EXPECT_THROW((void)read_binary_edge_list_file(fifo), CheckError);
+  writer.join();
+  ::unlink(fifo.c_str());
+}
+
+#endif  // XD_IO_TEST_HAVE_FIFO
 
 }  // namespace
 }  // namespace xd

@@ -174,6 +174,34 @@ TEST(CliqueNetwork, RejectsSelfSend) {
   EXPECT_THROW(net.send(1, 1, Message{}), CheckError);
 }
 
+TEST(Network, SortedFastPathPrefetchStaysInBoundsOnTailHeavyReceiver) {
+  // Regression for the delivery fast path's write-ahead prefetch: with all
+  // traffic landing in the LAST vertex's inbox, that receiver's scatter
+  // cursor reaches the arena end while the loop is still hinting ahead, so
+  // an unclamped &arena_[cursor] would index past the allocation.  Staging
+  // by ascending sender keeps the slots sorted (the fast path runs); the
+  // CI ASan job executes this test to police the bound.
+  constexpr std::size_t kSenders = 64;
+  GraphBuilder b(kSenders + 1);
+  for (VertexId v = 0; v < kSenders; ++v) {
+    b.add_edge(v, static_cast<VertexId>(kSenders));
+  }
+  const Graph g = b.build();
+  RoundLedger ledger;
+  Network net(g, ledger);
+  net.set_shards(1);  // pin the shared-arena fast path under XD_SHARDS too
+  for (VertexId v = 0; v < kSenders; ++v) {
+    net.send_to(v, static_cast<VertexId>(kSenders), Message{1, v});
+  }
+  EXPECT_EQ(net.exchange("tail"), 1u);
+  const auto inbox = net.inbox(static_cast<VertexId>(kSenders));
+  ASSERT_EQ(inbox.size(), kSenders);
+  for (std::size_t i = 0; i < kSenders; ++i) {
+    EXPECT_EQ(inbox[i].from, i);
+    EXPECT_EQ(inbox[i].msg.words[0], i);
+  }
+}
+
 TEST(Message, DoubleRoundTrip) {
   Message m;
   m.set_double(0, 3.14159);

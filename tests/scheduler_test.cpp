@@ -264,5 +264,29 @@ TEST(EpochScheduler, RejectsNonPositiveThreadCounts) {
   EXPECT_ANY_THROW(congest::EpochScheduler(-3));
 }
 
+TEST(EpochScheduler, PartialSpawnFailureJoinsAlreadySpawnedWorkers) {
+  // std::thread construction failing mid-loop (resource exhaustion) used to
+  // destroy the already-spawned, still-joinable threads -- which is
+  // std::terminate.  The pool must join the partial pool and surface the
+  // spawn error as a normal exception instead.
+  struct SpawnFault : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  congest::detail::set_spawn_fault_hook_for_testing([](int w) {
+    if (w == 2) throw SpawnFault("thread construction failed");
+  });
+  std::atomic<int> completed{0};
+  EXPECT_THROW(congest::EpochScheduler::run_partitioned(
+                   64, 4,
+                   [&](int /*w*/, std::size_t /*lo*/, std::size_t /*hi*/) {
+                     completed.fetch_add(1, std::memory_order_relaxed);
+                   }),
+               SpawnFault);
+  congest::detail::set_spawn_fault_hook_for_testing({});
+  // Workers 0 and 1 were spawned before the fault and joined before the
+  // rethrow: their bodies ran to completion and their effects are visible.
+  EXPECT_EQ(completed.load(), 2);
+}
+
 }  // namespace
 }  // namespace xd
