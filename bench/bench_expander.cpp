@@ -55,6 +55,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else {
+      // Unknown (or dangling) flags fail loudly: a typo'd --json used to
+      // silently run the whole suite and write nothing.
+      std::cerr << "usage: bench_expander [--json PATH]\n";
+      return std::string(argv[i]) == "--help" ? 0 : 2;
     }
   }
   Rng master(90210);

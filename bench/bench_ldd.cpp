@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "core/xd.hpp"
 
@@ -25,7 +26,13 @@ struct Family {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    // This bench takes no flags; reject anything (including a typo'd one)
+    // instead of silently running the full table suite.
+    std::cerr << "usage: bench_ldd (no flags; tables print to stdout)\n";
+    return std::string(argv[1]) == "--help" ? 0 : 2;
+  }
   Rng master(2026);
 
   std::vector<Family> families;

@@ -9,10 +9,17 @@
 
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "core/xd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    // This bench takes no flags; reject anything (including a typo'd one)
+    // instead of silently running the full table suite.
+    std::cerr << "usage: bench_sparse_cut (no flags; tables print to stdout)\n";
+    return std::string(argv[1]) == "--help" ? 0 : 2;
+  }
   using namespace xd;
   using sparsecut::Preset;
   Rng master(4711);

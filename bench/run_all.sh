@@ -7,13 +7,19 @@
 #                    [--reorder] [names...]
 #
 # google-benchmark binaries (bench_kernel) emit native JSON; bench_expander,
-# bench_triangle, and bench_routing write their own structured JSON (the E3d
-# sequential-vs-scheduler comparison, the E4d flat-vs-seed proxy-join
-# comparison at 100k vertices, and the E5c simulated-vs-charged GKS curve
-# plus the E5d flat-vs-map drain at 100k messages, respectively); the
+# bench_triangle, bench_routing, and bench_serve write their own structured
+# JSON (the E3d sequential-vs-scheduler comparison, the E4d flat-vs-seed
+# proxy-join comparison at 100k vertices, the E5c simulated-vs-charged GKS
+# curve plus the E5d flat-vs-map drain at 100k messages, and the E8
+# prepare-once-vs-rebuild A/B plus closed-loop qps/p99, respectively); the
 # remaining table-printing benches are wrapped as {"name", "stdout"} JSON.
 # With --quick, only the kernel bench runs (the acceptance metric for the
 # round engine: flat delivery >= 2x the seed nested path at 100k vertices).
+#
+# Every produced BENCH_*.json is also appended to the trajectory archive at
+# bench/results/trajectory/ under a UTC timestamp prefix, so successive
+# runs accumulate history instead of overwriting the previous point (the
+# bare BENCH_*.json in --out-dir stays the "latest" pointer CI reads).
 #
 # With --large, the million-edge tier runs instead: bench_triangle --large
 # (the E4d-large join-phase comparison -- hybrid SIMD kernels vs the PR 4
@@ -78,6 +84,14 @@ if [[ -z "$OUT_DIR" ]]; then
 fi
 mkdir -p "$OUT_DIR"
 
+# Trajectory archive: one timestamped copy per produced JSON per run.
+STAMP=$(date -u +%Y%m%dT%H%M%SZ)
+TRAJ_DIR=bench/results/trajectory
+mkdir -p "$TRAJ_DIR"
+archive() {
+  cp "$1" "$TRAJ_DIR/${STAMP}_$(basename "$1")"
+}
+
 if [[ ${#NAMES[@]} -eq 0 ]]; then
   if [[ $QUICK -eq 1 ]]; then
     NAMES=(bench_kernel)
@@ -85,7 +99,7 @@ if [[ ${#NAMES[@]} -eq 0 ]]; then
     NAMES=(bench_expander bench_triangle bench_kernel)
   else
     NAMES=(bench_kernel bench_ldd bench_mixing bench_nibble bench_routing \
-           bench_sparse_cut bench_expander bench_triangle)
+           bench_sparse_cut bench_expander bench_triangle bench_serve)
   fi
 fi
 
@@ -104,13 +118,15 @@ for name in "${NAMES[@]}"; do
   out="$OUT_DIR/BENCH_${name#bench_}.json"
   echo "== $name -> $out" >&2
   if [[ "$name" == bench_expander || "$name" == bench_triangle ||
-        "$name" == bench_routing ]]; then
+        "$name" == bench_routing || "$name" == bench_serve ]]; then
     # These emit structured JSON themselves: the E3d sequential-vs-
     # scheduler comparison (rounds + wall-clock at 1/2/8 host threads),
     # the E4d flat-vs-seed proxy-join comparison (acceptance: >= 3x at
-    # 100k scale), and the E5c/E5d routing comparisons (simulated GKS vs
-    # charged model; flat arena >= 3x the map drain at 100k messages).
-    # Tables still stream to the terminal for the human trail.
+    # 100k scale), the E5c/E5d routing comparisons (simulated GKS vs
+    # charged model; flat arena >= 3x the map drain at 100k messages),
+    # and the E8 serving lifecycle (prepare-once >= 10x rebuild-per-query
+    # at 100k, closed-loop qps/p50/p99).  Tables still stream to the
+    # terminal for the human trail.
     EXTRA=()
     if [[ "$name" == bench_triangle && $LARGE -eq 1 ]]; then
       EXTRA+=(--large)
@@ -134,6 +150,7 @@ for name in "${NAMES[@]}"; do
     printf '{"name": "%s", "stdout": %s}\n' "$name" \
       "$(printf '%s' "$stdout" | json_escape)" > "$out"
   fi
+  archive "$out"
 done
 
 # A silently skipped bench leaves a stale BENCH_*.json that reads as a real
@@ -210,4 +227,5 @@ summary["sharded"] = sharded
 json.dump(summary, open(sys.argv[2], "w"), indent=2)
 print(json.dumps(summary, indent=2))
 PY
+  archive "$OUT_DIR/BENCH_kernel_summary.json"
 fi

@@ -28,7 +28,9 @@
 /// EpochScheduler component pool), graph generators (xd::gen), exact
 /// metrics, spectral tools (lazy walks, sweep cuts, mixing times), the MPX
 /// low-diameter decomposition (Theorem 4: xd::ldd::low_diameter_
-/// decomposition), and expander routers (xd::routing).
+/// decomposition), expander routers (xd::routing), and the build-once
+/// serving layer (xd::serve::prepare_artifact + QueryService,
+/// docs/serving.md).
 
 #include "congest/clique.hpp"
 #include "congest/engine.hpp"
@@ -59,6 +61,8 @@
 #include "routing/router.hpp"
 #include "routing/simulated_router.hpp"
 #include "routing/tree_router.hpp"
+#include "serve/artifact.hpp"
+#include "serve/service.hpp"
 #include "sparsecut/distributed_nibble.hpp"
 #include "sparsecut/nibble.hpp"
 #include "sparsecut/nibble_params.hpp"

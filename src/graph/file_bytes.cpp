@@ -1,0 +1,78 @@
+#include "graph/file_bytes.hpp"
+
+#include <cerrno>
+#include <fstream>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define XD_IO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace xd {
+
+FileBytes::FileBytes(const std::string& path) {
+#if XD_IO_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  XD_CHECK_MSG(fd >= 0, "cannot open " << path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    XD_CHECK_MSG(false, "cannot stat " << path);
+  }
+  if (S_ISREG(st.st_mode)) {
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p != MAP_FAILED) {
+        map_ = static_cast<const unsigned char*>(p);
+        data_ = map_;
+      }
+    }
+    if (map_ != nullptr || size_ == 0) {
+      ::close(fd);
+      return;
+    }
+    buf_.reserve(size_);
+  }
+  unsigned char chunk[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      XD_CHECK_MSG(false, "read failed on " << path);
+    }
+    if (got == 0) break;
+    buf_.insert(buf_.end(), chunk, chunk + got);
+  }
+  ::close(fd);
+  size_ = buf_.size();
+  data_ = buf_.data();
+#else
+  // No POSIX: sized single reads would trust a seek that non-seekable
+  // inputs do not support, so read fixed chunks until EOF here too.
+  std::ifstream is(path, std::ios::binary);
+  XD_CHECK_MSG(is.good(), "cannot open " << path);
+  char chunk[1 << 16];
+  while (is.read(chunk, sizeof chunk) || is.gcount() > 0) {
+    buf_.insert(buf_.end(), chunk, chunk + is.gcount());
+    if (!is.good()) break;
+  }
+  XD_CHECK_MSG(is.eof(), "read failed on " << path);
+  size_ = buf_.size();
+  data_ = buf_.data();
+#endif
+}
+
+FileBytes::~FileBytes() {
+#if XD_IO_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(const_cast<unsigned char*>(map_), size_);
+#endif
+}
+
+}  // namespace xd

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file file_bytes.hpp
+/// Whole-file byte access for the binary loaders (docs/io.md).
+///
+/// Both on-disk binary formats -- the XDG1 edge lists and the XDA1
+/// prepared artifacts (docs/serving.md) -- start from the same primitive:
+/// the raw file bytes, mmapped when the platform allows (multi-GB inputs
+/// of the --large bench tier never pass through a copy) and stream-read
+/// otherwise.  Non-regular files (pipes, FIFOs, process substitution) take
+/// the streamed path: read(2) is free to return short counts (pipe
+/// capacity, signals), so the fallback loops until EOF and truncation
+/// surfaces as the caller's size checks -- never as silently missing
+/// bytes.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xd {
+
+/// Read-only view of one file's entire contents.
+class FileBytes {
+ public:
+  /// Opens and maps (or reads) `path`; throws CheckError when the file
+  /// cannot be opened or read.
+  explicit FileBytes(const std::string& path);
+  ~FileBytes();
+
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+
+  [[nodiscard]] const unsigned char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  const unsigned char* map_ = nullptr;
+  std::vector<unsigned char> buf_;
+};
+
+}  // namespace xd

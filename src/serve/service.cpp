@@ -1,0 +1,157 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace xd::serve {
+
+namespace {
+
+/// GKS query-model cost of one routed demand inside component `info`: one
+/// round of local lookup plus a polylog term per hierarchy level (the §3
+/// observation -- portal queries cost polylog, not 2^{O(√log n)}).
+std::uint64_t route_model_cost(const ComponentInfo& info,
+                               std::uint32_t depth) {
+  return 1 + std::uint64_t{depth} * std::bit_width(info.internal_edges + 1);
+}
+
+}  // namespace
+
+QueryService::QueryService(const PreparedArtifact& artifact,
+                           const ServiceParams& prm)
+    : art_(artifact),
+      prm_(prm),
+      pool_(std::max(1, prm.threads)),
+      arena_(artifact.graph) {
+  if (prm_.max_batch == 0) prm_.max_batch = 1;
+}
+
+bool QueryService::submit(std::uint32_t client, const Query& q) {
+  auto& stats = clients_[client];
+  ++stats.submitted;
+  if (pending_.size() >= prm_.max_pending) {
+    ++stats.rejected;
+    ++total_rejected_;
+    return false;
+  }
+  pending_.push_back(Pending{client, next_ticket_++, q});
+  return true;
+}
+
+std::vector<QueryResult> QueryService::flush() {
+  const std::size_t batch = std::min(prm_.max_batch, pending_.size());
+  const auto batch_end =
+      pending_.begin() + static_cast<std::ptrdiff_t>(batch);
+  std::vector<Pending> taken(pending_.begin(), batch_end);
+  pending_.erase(pending_.begin(), batch_end);
+
+  std::vector<QueryResult> results(batch);
+  std::vector<std::vector<VertexId>> route_paths(batch);
+  const std::size_t n = art_.graph.num_vertices();
+
+  // Phase A: per-query computation, read-only against the shared artifact.
+  // Always forked -- each query charges its own ledger branch and the join
+  // advances the clock by the batch's max, so the accounting is identical
+  // at every thread count.
+  pool_.run_forked(
+      ledger_, batch,
+      [&](std::size_t i, congest::RoundLedger& branch) {
+        const Pending& p = taken[i];
+        QueryResult& r = results[i];
+        r.kind = p.query.kind;
+        r.client = p.client;
+        r.ticket = p.ticket;
+        const Query& q = p.query;
+        std::uint64_t cost = 1;
+        switch (q.kind) {
+          case QueryKind::kTriangleCount:
+            r.ok = true;
+            r.value = art_.triangle_count();
+            r.messages = 1;
+            break;
+          case QueryKind::kTrianglesOf:
+            if (q.a < n) {
+              const auto span = art_.triangles_of(q.a);
+              r.ok = true;
+              r.value = span.size();
+              r.ids.assign(span.begin(), span.end());
+              r.messages = span.size();
+              // Batched convergecast: eight ids ride one message slot.
+              cost = 1 + (span.size() + 7) / 8;
+            }
+            break;
+          case QueryKind::kTriangleMembership:
+            if (q.a < n && q.b < n && q.c < n) {
+              r.ok = true;
+              r.value = art_.has_triangle(q.a, q.b, q.c) ? 1 : 0;
+              r.messages = 1;
+            }
+            break;
+          case QueryKind::kRoute:
+            if (q.a < n && q.b < n &&
+                art_.relay_path(q.a, q.b, route_paths[i])) {
+              r.ok = true;
+              r.value = route_paths[i].size() - 1;  // hops
+              r.ids.assign(route_paths[i].begin(), route_paths[i].end());
+              r.messages = route_paths[i].size() - 1;
+              cost = route_model_cost(
+                  art_.components[art_.component_of(q.a)], art_.router_depth);
+            }
+            break;
+          case QueryKind::kConductance:
+            if (q.a < art_.num_components) {
+              r.ok = true;
+              r.scalar = art_.components[q.a].conductance;
+              r.value = art_.components[q.a].size;
+              r.messages = 1;
+            }
+            break;
+          case QueryKind::kComponentOf:
+            if (q.a < n) {
+              r.ok = true;
+              r.value = art_.component_of(q.a);
+              r.messages = 1;
+            }
+            break;
+        }
+        r.rounds_charged = cost;
+        branch.charge(cost, "Serve/query");
+        branch.count_messages(r.messages);
+      });
+
+  // Phase B: deliver every successful route over the shared network in one
+  // synchronous drain -- concurrent demands contend for directed-edge
+  // bandwidth, so a route's arrival round depends (deterministically, by
+  // admission order) on the whole batch.
+  std::vector<std::size_t> route_of_staged;
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (results[i].kind == QueryKind::kRoute && results[i].ok) {
+      route_of_staged.push_back(i);
+    }
+  }
+  if (!route_of_staged.empty()) {
+    arena_.begin_batch();
+    for (const std::size_t i : route_of_staged) {
+      arena_.begin_path();
+      for (const VertexId v : route_paths[i]) arena_.push_vertex(v);
+      arena_.end_path();
+    }
+    const auto drained = arena_.drain();
+    ledger_.charge(drained.rounds, "Serve/drain");
+    ledger_.count_messages(drained.messages_sent);
+    for (std::size_t s = 0; s < route_of_staged.size(); ++s) {
+      results[route_of_staged[s]].rounds_charged += drained.arrivals[s];
+    }
+  }
+
+  for (QueryResult& r : results) {
+    auto& stats = clients_[r.client];
+    ++stats.served;
+    stats.rounds += r.rounds_charged;
+    stats.messages += r.messages;
+    ++total_served_;
+  }
+  return results;
+}
+
+}  // namespace xd::serve

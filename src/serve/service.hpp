@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file service.hpp
+/// Concurrent query service over one PreparedArtifact (docs/serving.md).
+///
+/// The serving half of the build-once lifecycle: clients submit triangle /
+/// routing / conductance queries into a bounded admission queue, and
+/// flush() executes them in batches against the shared immutable artifact.
+/// Execution is two-phase:
+///
+///   * Phase A (parallel): every admitted query is computed read-only from
+///     the artifact on the EpochScheduler, each on its own forked
+///     RoundLedger branch.  The phase always forks -- even at one thread --
+///     so the charged totals are identical at every thread count (the
+///     scheduler's determinism contract: threads shape wall-clock only).
+///   * Phase B (sequential): route queries stage their relay paths into
+///     the service's QueueArena in admission order and one synchronous
+///     drain delivers them all, charging the shared clock the drain's round
+///     count (concurrent demands contend for directed-edge bandwidth,
+///     exactly like the simulated routers).
+///
+/// Results come back in admission order and are bit-identical for every
+/// ServiceParams::threads setting; per-client RoundLedger-style sums are
+/// tracked in ClientStats.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "congest/scheduler.hpp"
+#include "routing/queue_arena.hpp"
+#include "serve/artifact.hpp"
+
+namespace xd::serve {
+
+enum class QueryKind : int {
+  kTriangleCount = 0,      ///< total triangles in the artifact
+  kTrianglesOf = 1,        ///< ids of triangles incident to vertex a
+  kTriangleMembership = 2, ///< is {a, b, c} a listed triangle?
+  kRoute = 3,              ///< relay-forest route a -> b
+  kConductance = 4,        ///< component a's conductance observation
+  kComponentOf = 5,        ///< component label of vertex a
+};
+
+/// One client request.  Unused operand slots are ignored per kind.
+struct Query {
+  QueryKind kind = QueryKind::kTriangleCount;
+  VertexId a = 0;
+  VertexId b = 0;
+  VertexId c = 0;
+};
+
+/// One answered query, in admission order.
+struct QueryResult {
+  QueryKind kind = QueryKind::kTriangleCount;
+  std::uint32_t client = 0;
+  std::uint64_t ticket = 0;        ///< global admission sequence number
+  bool ok = false;                 ///< false: bad operand / no route
+  std::uint64_t value = 0;         ///< count / 0-1 / label / hop count
+  double scalar = 0.0;             ///< conductance (kConductance only)
+  std::uint64_t rounds_charged = 0;///< model cost + drain arrival round
+  std::uint64_t messages = 0;      ///< messages this answer accounts for
+  /// kTrianglesOf: incident triangle ids (ascending).
+  /// kRoute: the delivered vertex path a .. b.
+  std::vector<std::uint32_t> ids;
+};
+
+struct ServiceParams {
+  int threads = 1;              ///< Phase A scheduler threads (>= 1)
+  std::size_t max_pending = 1024;  ///< admission queue bound (backpressure)
+  std::size_t max_batch = 256;     ///< queries executed per flush()
+};
+
+/// Per-client fork of the accounting: sums over that client's answers.
+struct ClientStats {
+  std::uint64_t submitted = 0;  ///< submit() calls (accepted + rejected)
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;   ///< bounced by backpressure
+  std::uint64_t rounds = 0;     ///< sum of rounds_charged over its answers
+  std::uint64_t messages = 0;
+};
+
+/// Executes query streams against one shared PreparedArtifact.  The
+/// artifact must outlive the service (the QueueArena keeps a pointer to
+/// its graph).  Not internally synchronized: one thread drives submit() /
+/// flush(); parallelism lives inside flush()'s Phase A.
+class QueryService {
+ public:
+  QueryService(const PreparedArtifact& artifact, const ServiceParams& prm);
+
+  /// Admits one query from `client`.  Returns false -- and counts a
+  /// rejection -- when the pending queue is at max_pending (the caller
+  /// should flush() and retry: closed-loop backpressure).
+  bool submit(std::uint32_t client, const Query& q);
+
+  /// Executes up to max_batch pending queries (FIFO admission order) and
+  /// returns their results in that order.  Empty queue -> empty vector.
+  std::vector<QueryResult> flush();
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t total_served() const { return total_served_; }
+  [[nodiscard]] std::uint64_t total_rejected() const {
+    return total_rejected_;
+  }
+
+  /// The service's shared clock: Phase A query costs (epoch max per batch)
+  /// plus every Phase B drain.
+  [[nodiscard]] const congest::RoundLedger& ledger() const { return ledger_; }
+
+  /// Per-client accounting, keyed by client id.
+  [[nodiscard]] const std::map<std::uint32_t, ClientStats>& clients() const {
+    return clients_;
+  }
+
+ private:
+  struct Pending {
+    std::uint32_t client;
+    std::uint64_t ticket;
+    Query query;
+  };
+
+  const PreparedArtifact& art_;
+  ServiceParams prm_;
+  congest::EpochScheduler pool_;
+  routing::QueueArena arena_;
+  congest::RoundLedger ledger_;
+  std::deque<Pending> pending_;
+  std::map<std::uint32_t, ClientStats> clients_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t total_served_ = 0;
+  std::uint64_t total_rejected_ = 0;
+};
+
+}  // namespace xd::serve

@@ -1,0 +1,225 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace xd::serve {
+namespace {
+
+PreparedArtifact golden_artifact() {
+  Rng rng(31);
+  const Graph g = gen::gnp(60, 0.2, rng);
+  PrepareParams prm;
+  prm.enumerate.backend = triangle::RouterBackend::kTree;
+  return prepare_artifact(g, prm);
+}
+
+/// Deterministic mixed stream: every kind appears, operands in and out of
+/// range, several clients.
+std::vector<std::pair<std::uint32_t, Query>> mixed_stream(
+    const PreparedArtifact& art, std::size_t count, std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(art.graph.num_vertices());
+  Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, Query>> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto client = static_cast<std::uint32_t>(rng.next_below(5));
+    Query q;
+    q.kind = static_cast<QueryKind>(rng.next_below(6));
+    q.a = static_cast<VertexId>(rng.next_below(n + 2));  // sometimes invalid
+    q.b = static_cast<VertexId>(rng.next_below(n));
+    q.c = static_cast<VertexId>(rng.next_below(n));
+    stream.emplace_back(client, q);
+  }
+  return stream;
+}
+
+void expect_same(const QueryResult& a, const QueryResult& b,
+                 std::size_t index) {
+  EXPECT_EQ(a.kind, b.kind) << index;
+  EXPECT_EQ(a.client, b.client) << index;
+  EXPECT_EQ(a.ticket, b.ticket) << index;
+  EXPECT_EQ(a.ok, b.ok) << index;
+  EXPECT_EQ(a.value, b.value) << index;
+  EXPECT_EQ(a.scalar, b.scalar) << index;
+  EXPECT_EQ(a.rounds_charged, b.rounds_charged) << index;
+  EXPECT_EQ(a.messages, b.messages) << index;
+  EXPECT_EQ(a.ids, b.ids) << index;
+}
+
+/// Runs the whole stream through a service at the given thread count:
+/// submit until backpressure, flush, repeat.
+std::vector<QueryResult> run_stream(
+    QueryService& svc,
+    const std::vector<std::pair<std::uint32_t, Query>>& stream) {
+  std::vector<QueryResult> all;
+  std::size_t next = 0;
+  while (next < stream.size() || svc.pending() > 0) {
+    while (next < stream.size() &&
+           svc.submit(stream[next].first, stream[next].second)) {
+      ++next;
+    }
+    for (auto& r : svc.flush()) all.push_back(std::move(r));
+  }
+  return all;
+}
+
+// --------------------------------------------------- concurrent identity
+
+TEST(Serve, ConcurrentExecutionIsBitIdenticalToSequential) {
+  const auto art = golden_artifact();
+  const auto stream = mixed_stream(art, 300, 99);
+  ServiceParams base;
+  base.max_pending = 64;
+  base.max_batch = 32;
+
+  ServiceParams p1 = base;
+  p1.threads = 1;
+  QueryService seq(art, p1);
+  const auto seq_results = run_stream(seq, stream);
+
+  for (const int threads : {2, 8}) {
+    ServiceParams pt = base;
+    pt.threads = threads;
+    QueryService conc(art, pt);
+    const auto conc_results = run_stream(conc, stream);
+    ASSERT_EQ(conc_results.size(), seq_results.size()) << threads;
+    for (std::size_t i = 0; i < seq_results.size(); ++i) {
+      expect_same(conc_results[i], seq_results[i], i);
+    }
+    // The shared clock and the per-client forks agree too: Phase A always
+    // forks, so charged totals never depend on the host thread count.
+    EXPECT_EQ(conc.ledger().rounds(), seq.ledger().rounds()) << threads;
+    EXPECT_EQ(conc.ledger().messages(), seq.ledger().messages()) << threads;
+    ASSERT_EQ(conc.clients().size(), seq.clients().size());
+    for (const auto& [client, stats] : seq.clients()) {
+      const auto& other = conc.clients().at(client);
+      EXPECT_EQ(other.served, stats.served) << "client " << client;
+      EXPECT_EQ(other.rounds, stats.rounds) << "client " << client;
+      EXPECT_EQ(other.messages, stats.messages) << "client " << client;
+    }
+  }
+}
+
+// ---------------------------------------------------------- backpressure
+
+TEST(Serve, BackpressureBoundsThePendingQueue) {
+  const auto art = golden_artifact();
+  ServiceParams prm;
+  prm.max_pending = 16;
+  prm.max_batch = 8;
+  QueryService svc(art, prm);
+
+  Query q;
+  q.kind = QueryKind::kTriangleCount;
+  std::size_t accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (svc.submit(0, q)) ++accepted;
+    EXPECT_LE(svc.pending(), prm.max_pending);
+  }
+  EXPECT_EQ(accepted, prm.max_pending);
+  EXPECT_EQ(svc.total_rejected(), 100 - prm.max_pending);
+  EXPECT_EQ(svc.clients().at(0).rejected, 100 - prm.max_pending);
+  EXPECT_EQ(svc.clients().at(0).submitted, 100u);
+
+  // Each flush serves at most max_batch, FIFO.
+  const auto first = svc.flush();
+  EXPECT_EQ(first.size(), prm.max_batch);
+  EXPECT_EQ(first.front().ticket, 0u);
+  EXPECT_EQ(svc.pending(), prm.max_pending - prm.max_batch);
+  const auto second = svc.flush();
+  EXPECT_EQ(second.size(), prm.max_batch);
+  EXPECT_EQ(second.front().ticket, prm.max_batch);
+  EXPECT_EQ(svc.pending(), 0u);
+  EXPECT_TRUE(svc.flush().empty());
+  EXPECT_EQ(svc.total_served(), prm.max_pending);
+}
+
+// ------------------------------------------------------- client ledgers
+
+TEST(Serve, PerClientStatsSumTheirAnswers) {
+  const auto art = golden_artifact();
+  const auto stream = mixed_stream(art, 200, 7);
+  ServiceParams prm;
+  prm.threads = 2;
+  prm.max_pending = 32;
+  prm.max_batch = 16;
+  QueryService svc(art, prm);
+  const auto results = run_stream(svc, stream);
+  EXPECT_EQ(results.size(), stream.size());
+  EXPECT_EQ(svc.total_served(), stream.size());
+
+  std::map<std::uint32_t, ClientStats> expect;
+  for (const auto& r : results) {
+    auto& s = expect[r.client];
+    ++s.served;
+    s.rounds += r.rounds_charged;
+    s.messages += r.messages;
+  }
+  ASSERT_EQ(svc.clients().size(), expect.size());
+  std::uint64_t total_rounds = 0;
+  for (const auto& [client, want] : expect) {
+    const auto& got = svc.clients().at(client);
+    EXPECT_EQ(got.served, want.served) << "client " << client;
+    EXPECT_EQ(got.rounds, want.rounds) << "client " << client;
+    EXPECT_EQ(got.messages, want.messages) << "client " << client;
+    EXPECT_EQ(got.submitted, got.served + got.rejected) << client;
+    total_rounds += got.rounds;
+  }
+  // Per-client sums run sequential (each client waits for its answers);
+  // the service clock joins concurrent queries by max, so it reads faster.
+  EXPECT_LE(svc.ledger().rounds(), total_rounds);
+  EXPECT_GT(svc.ledger().rounds(), 0u);
+}
+
+// ------------------------------------------------------------- semantics
+
+TEST(Serve, AnswersMatchTheArtifact) {
+  const auto art = golden_artifact();
+  ServiceParams prm;
+  QueryService svc(art, prm);
+
+  ASSERT_TRUE(svc.submit(1, {QueryKind::kTriangleCount, 0, 0, 0}));
+  ASSERT_TRUE(svc.submit(1, {QueryKind::kTrianglesOf, 3, 0, 0}));
+  const auto& t0 = art.triangles[0];
+  ASSERT_TRUE(svc.submit(2, {QueryKind::kTriangleMembership, t0[0], t0[1],
+                             t0[2]}));
+  ASSERT_TRUE(svc.submit(2, {QueryKind::kComponentOf, 7, 0, 0}));
+  ASSERT_TRUE(svc.submit(3, {QueryKind::kConductance, 0, 0, 0}));
+  ASSERT_TRUE(svc.submit(3, {QueryKind::kRoute, 0, 59, 0}));
+  ASSERT_TRUE(
+      svc.submit(3, {QueryKind::kRoute, 0, static_cast<VertexId>(1000), 0}));
+
+  const auto rs = svc.flush();
+  ASSERT_EQ(rs.size(), 7u);
+  EXPECT_TRUE(rs[0].ok);
+  EXPECT_EQ(rs[0].value, art.triangle_count());
+  EXPECT_TRUE(rs[1].ok);
+  EXPECT_EQ(rs[1].value, art.triangles_of(3).size());
+  EXPECT_TRUE(rs[2].ok);
+  EXPECT_EQ(rs[2].value, 1u);
+  EXPECT_TRUE(rs[3].ok);
+  EXPECT_EQ(rs[3].value, art.component_of(7));
+  EXPECT_TRUE(rs[4].ok);
+  EXPECT_EQ(rs[4].scalar, art.components[0].conductance);
+  if (art.component_of(0) == art.component_of(59)) {
+    EXPECT_TRUE(rs[5].ok);
+    ASSERT_FALSE(rs[5].ids.empty());
+    EXPECT_EQ(rs[5].ids.front(), 0u);
+    EXPECT_EQ(rs[5].ids.back(), 59u);
+    // Delivery really happened: the drain's arrival round is charged on
+    // top of the GKS query-model cost.
+    EXPECT_GT(rs[5].rounds_charged, 1u);
+  }
+  EXPECT_FALSE(rs[6].ok);  // out-of-range destination
+  EXPECT_EQ(rs[6].rounds_charged, 1u);
+}
+
+}  // namespace
+}  // namespace xd::serve

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Pins the CLI argv contract of every bench/tool binary.
+
+Each binary must reject an unknown flag up front -- non-zero exit and a
+usage line -- instead of silently ignoring it and burning minutes of bench
+time (the historical failure mode: `bench_expander --jsn out.json` ran the
+whole suite and wrote nothing).  bench_kernel is exempt: google-benchmark
+owns its flag parsing.
+
+Usage: check_argv.py BUILD_DIR
+"""
+
+import os
+import subprocess
+import sys
+
+# Binaries under the strict-argv contract.  Missing ones are skipped (the
+# bench/example groups can be configured off) but at least one must exist.
+BINARIES = [
+    "edges_to_binary",
+    "bench_expander",
+    "bench_triangle",
+    "bench_routing",
+    "bench_serve",
+    "bench_ldd",
+    "bench_mixing",
+    "bench_nibble",
+    "bench_sparse_cut",
+]
+
+BAD_FLAG = "--definitely-not-a-flag"
+
+
+def probe(path, args):
+    proc = subprocess.run(
+        [path] + args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        timeout=60,
+    )
+    return proc.returncode, proc.stdout.decode(errors="replace")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} BUILD_DIR", file=sys.stderr)
+        return 2
+    build_dir = sys.argv[1]
+    checked = 0
+    failures = []
+    for name in BINARIES:
+        path = os.path.join(build_dir, name)
+        if not os.path.exists(path):
+            print(f"skip {name}: not built")
+            continue
+        checked += 1
+        code, out = probe(path, [BAD_FLAG])
+        if code == 0:
+            failures.append(f"{name}: accepted {BAD_FLAG} (exit 0)")
+        elif "usage" not in out.lower():
+            failures.append(f"{name}: rejected {BAD_FLAG} without a usage line")
+        else:
+            print(f"ok   {name}: rejects unknown flags (exit {code})")
+    # The converter also needs its operands: no args is an error, not a hang.
+    conv = os.path.join(build_dir, "edges_to_binary")
+    if os.path.exists(conv):
+        code, out = probe(conv, [])
+        if code == 0 or "usage" not in out.lower():
+            failures.append("edges_to_binary: missing operands not rejected")
+        else:
+            print(f"ok   edges_to_binary: requires operands (exit {code})")
+    if checked == 0:
+        failures.append(f"no checked binaries found in {build_dir}")
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,18 @@
 #include "graph/io.hpp"
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout << "usage: " << argv[0] << " IN.txt OUT.xdg\n";
+      return 0;
+    }
+    // A flag-looking operand is a typo, not a file name: fail up front
+    // rather than erroring on a nonexistent "--reorder" input file.
+    if (argv[i][0] == '-') {
+      std::cerr << "usage: " << argv[0] << " IN.txt OUT.xdg (no flags)\n";
+      return 2;
+    }
+  }
   if (argc != 3) {
     std::cerr << "usage: " << argv[0] << " IN.txt OUT.xdg\n";
     return 2;
