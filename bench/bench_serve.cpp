@@ -13,8 +13,13 @@
 //   E8b  closed-loop load: --clients simulated clients, one outstanding
 //        query each, submit-until-backpressure then flush; reports
 //        steady-state qps and p50/p99 end-to-end latency.
+//   soak closed-loop reruns under the fault plane (docs/robustness.md): one
+//        pass at a 0% fault rate and one with serve.flush faults injected
+//        at --fault-rate (default 1%), reporting qps/p99 plus the service's
+//        health counters (faults seen, retries, degraded answers) -- the
+//        cost-of-robustness measurement.
 //
-// --json PATH emits both blocks (the BENCH_serve.json trajectory point).
+// --json PATH emits all blocks (the BENCH_serve.json trajectory point).
 
 #include <algorithm>
 #include <chrono>
@@ -22,11 +27,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/xd.hpp"
 #include "util/check.hpp"
+#include "util/fault_plane.hpp"
 
 namespace {
 
@@ -165,6 +172,13 @@ struct E8b {
   double p50_us = 0;
   double p99_us = 0;
   int threads = 0;
+  xd::serve::ServiceHealth health;
+};
+
+/// One soak pass: the closed loop rerun under an injected fault rate.
+struct Soak {
+  double fault_rate = 0;
+  E8b loop;
 };
 
 E8b closed_loop(const xd::serve::PreparedArtifact& art, std::size_t clients,
@@ -222,6 +236,7 @@ E8b closed_loop(const xd::serve::PreparedArtifact& art, std::size_t clients,
 
   out.served = served;
   out.rejected = svc.total_rejected();
+  out.health = svc.health();
   out.qps = elapsed_ms > 0 ? 1000.0 * static_cast<double>(served) / elapsed_ms
                            : 0.0;
   std::sort(latencies_us.begin(), latencies_us.end());
@@ -232,7 +247,28 @@ E8b closed_loop(const xd::serve::PreparedArtifact& art, std::size_t clients,
   return out;
 }
 
-void write_json(const std::string& path, const E8a& a, const E8b& b) {
+/// One soak pass: the closed loop rerun with serve.flush faults armed at
+/// `rate` (0 disarms the fault plane).  Injected flush faults retry and
+/// recover -- answers stay exact -- so the pass measures what the retry
+/// ladder costs in qps/p99, with the health counters alongside.
+Soak soak_pass(const xd::serve::PreparedArtifact& art, std::size_t clients,
+               int threads, double rate) {
+  xd::FaultPlane& faults = xd::FaultPlane::instance();
+  faults.reset();
+  if (rate > 0) {
+    std::ostringstream spec;
+    spec << "seed=7,serve.flush:p=" << rate;
+    faults.configure(spec.str());
+  }
+  Soak s;
+  s.fault_rate = rate;
+  s.loop = closed_loop(art, clients, threads);
+  faults.reset();
+  return s;
+}
+
+void write_json(const std::string& path, const E8a& a, const E8b& b,
+                const std::vector<Soak>& soaks) {
   std::ofstream os(path);
   XD_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
   os << "{\n  \"e8a\": {\n"
@@ -258,7 +294,28 @@ void write_json(const std::string& path, const E8a& a, const E8b& b) {
      << "    \"p50_us\": " << b.p50_us << ",\n"
      << "    \"p99_us\": " << b.p99_us << ",\n"
      << "    \"threads\": " << b.threads << "\n"
-     << "  }\n}\n";
+     << "  },\n  \"soak\": [\n";
+  for (std::size_t i = 0; i < soaks.size(); ++i) {
+    const Soak& s = soaks[i];
+    os << "    {\n"
+       << "      \"fault_rate\": " << s.fault_rate << ",\n"
+       << "      \"served\": " << s.loop.served << ",\n"
+       << "      \"qps\": " << s.loop.qps << ",\n"
+       << "      \"p50_us\": " << s.loop.p50_us << ",\n"
+       << "      \"p99_us\": " << s.loop.p99_us << ",\n"
+       << "      \"health\": {\n"
+       << "        \"faults_seen\": " << s.loop.health.faults_seen << ",\n"
+       << "        \"flush_retries\": " << s.loop.health.flush_retries
+       << ",\n"
+       << "        \"degraded_answers\": " << s.loop.health.degraded_answers
+       << ",\n"
+       << "        \"deadline_hits\": " << s.loop.health.deadline_hits
+       << ",\n"
+       << "        \"retransmits\": " << s.loop.health.retransmits << "\n"
+       << "      }\n"
+       << "    }" << (i + 1 < soaks.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
   XD_CHECK_MSG(os.good(), "short write on " << path);
 }
 
@@ -272,6 +329,7 @@ int main(int argc, char** argv) {
   std::size_t clients = 2000;
   std::size_t rebuild_samples = 2;
   int threads = 4;
+  double fault_rate = 0.01;
 
   const auto parse_size = [&](const char* flag, const char* arg,
                               std::size_t& out) {
@@ -306,10 +364,23 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       if (!parse_size("--threads", argv[++i], threads_arg)) return 2;
       threads = static_cast<int>(std::min<std::size_t>(threads_arg, 64));
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      const std::string s = argv[++i];
+      try {
+        std::size_t pos = 0;
+        fault_rate = std::stod(s, &pos);
+        if (pos != s.size() || fault_rate < 0 || fault_rate > 1) {
+          throw std::invalid_argument(s);
+        }
+      } catch (const std::exception&) {
+        std::cerr << "bench_serve: --fault-rate wants a number in [0, 1], "
+                     "got '" << s << "'\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_serve [--json PATH] [--scale N] "
                    "[--queries N] [--clients N] [--rebuild-samples N] "
-                   "[--threads N]\n";
+                   "[--threads N] [--fault-rate R]\n";
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
@@ -401,8 +472,26 @@ int main(int argc, char** argv) {
                Table::cell(b.p99_us)});
   e8b.print();
 
+  // ---- soak: the closed loop under injected flush faults. ----
+  std::vector<Soak> soaks;
+  soaks.push_back(soak_pass(art, clients, threads, 0.0));
+  if (fault_rate > 0) {
+    soaks.push_back(soak_pass(art, clients, threads, fault_rate));
+  }
+  Table soak_tbl("soak: closed loop under serve.flush faults",
+                 {"fault rate", "qps", "p99 us", "faults", "retries",
+                  "degraded"});
+  for (const Soak& s : soaks) {
+    soak_tbl.add_row({Table::cell(s.fault_rate), Table::cell(s.loop.qps),
+                      Table::cell(s.loop.p99_us),
+                      Table::cell(s.loop.health.faults_seen),
+                      Table::cell(s.loop.health.flush_retries),
+                      Table::cell(s.loop.health.degraded_answers)});
+  }
+  soak_tbl.print();
+
   if (!json_path.empty()) {
-    write_json(json_path, a, b);
+    write_json(json_path, a, b, soaks);
     std::cout << "wrote " << json_path << "\n";
   }
   if (!a.exact) {

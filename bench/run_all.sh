@@ -107,6 +107,18 @@ json_escape() {
   python3 -c 'import json,sys; print(json.dumps(sys.stdin.read()))'
 }
 
+# A bench that exits 0 but emits broken JSON would archive a corrupt
+# trajectory point that every downstream reader chokes on; validate each
+# file and fail loudly with the bench's name instead.
+validate_json() {
+  local name=$1 file=$2
+  if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$file" \
+       2>/dev/null; then
+    echo "error: $name produced malformed JSON at $file" >&2
+    exit 1
+  fi
+}
+
 MISSING=()
 for name in "${NAMES[@]}"; do
   bin="$BUILD_DIR/$name"
@@ -134,22 +146,26 @@ for name in "${NAMES[@]}"; do
       [[ -n "$INPUT" ]] && EXTRA+=(--input "$INPUT")
       [[ $REORDER -eq 1 ]] && EXTRA+=(--reorder)
     fi
-    "$bin" --json "$out" ${EXTRA[@]+"${EXTRA[@]}"} >&2
+    "$bin" --json "$out" ${EXTRA[@]+"${EXTRA[@]}"} >&2 ||
+      { echo "error: $name exited $? (see output above)" >&2; exit 1; }
   elif "$bin" --help 2>/dev/null | grep -q benchmark_format; then
     if [[ "$name" == bench_kernel && $LARGE -eq 1 ]]; then
       # The 8M-edge delivery A/B: XD_KERNEL_LARGE registers the 2M-vertex
       # variants, and the filter keeps the tier focused on delivery.
       XD_KERNEL_LARGE=1 "$bin" --benchmark_format=json --benchmark_min_time=1 \
-             --benchmark_repetitions=3 --benchmark_filter='BM_Deliver' > "$out"
+             --benchmark_repetitions=3 --benchmark_filter='BM_Deliver' > "$out" ||
+        { echo "error: $name exited $?" >&2; exit 1; }
     else
       "$bin" --benchmark_format=json --benchmark_min_time=1 \
-             --benchmark_repetitions=3 > "$out"
+             --benchmark_repetitions=3 > "$out" ||
+        { echo "error: $name exited $?" >&2; exit 1; }
     fi
   else
-    stdout=$("$bin")
+    stdout=$("$bin") || { echo "error: $name exited $?" >&2; exit 1; }
     printf '{"name": "%s", "stdout": %s}\n' "$name" \
       "$(printf '%s' "$stdout" | json_escape)" > "$out"
   fi
+  validate_json "$name" "$out"
   archive "$out"
 done
 

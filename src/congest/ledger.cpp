@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/check.hpp"
+
 namespace xd::congest {
 
 void RoundLedger::charge(std::uint64_t rounds, std::string_view reason) {
@@ -37,6 +39,17 @@ void RoundLedger::join() {
   messages_ += sum_messages;
   for (const auto& [label, rounds] : label_max) by_reason_[label] += rounds;
   children_.clear();
+}
+
+void RoundLedger::absorb(const RoundLedger& other) {
+  XD_CHECK_MSG(other.children_.empty(),
+               "absorb: other ledger still has " << other.children_.size()
+                                                 << " unjoined forks");
+  rounds_ += other.rounds_;
+  messages_ += other.messages_;
+  for (const auto& [label, rounds] : other.by_reason_) {
+    by_reason_[label] += rounds;
+  }
 }
 
 std::string RoundLedger::report() const {

@@ -71,6 +71,14 @@ class RoundLedger {
   /// Outstanding (not yet joined) forked children.
   [[nodiscard]] std::size_t forked() const { return children_.size(); }
 
+  /// Folds another ledger's settled totals into this one: rounds and
+  /// messages add, each label's breakdown adds.  `other` must be joined
+  /// (outstanding forks would be silently lost -- checked).  This is the
+  /// commit step of a run-on-scratch-then-commit pattern: charge a
+  /// retryable phase against a scratch ledger, absorb it only once the
+  /// phase succeeds, and an abandoned attempt never pollutes the clock.
+  void absorb(const RoundLedger& other);
+
   /// Human-readable multi-line report.
   [[nodiscard]] std::string report() const;
 

@@ -1,12 +1,31 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "congest/scheduler.hpp"
 #include "util/check.hpp"
 
 namespace xd::congest {
+
+int parse_shard_count(const char* text) {
+  XD_CHECK_MSG(text != nullptr, "shard count: null string");
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  XD_CHECK_MSG(end != text, "shard count '" << text << "' is not a number");
+  while (*end != '\0' &&
+         std::isspace(static_cast<unsigned char>(*end)) != 0) {
+    ++end;
+  }
+  XD_CHECK_MSG(*end == '\0',
+               "shard count '" << text << "' has trailing garbage");
+  XD_CHECK_MSG(errno != ERANGE && v >= 1 && v <= (1L << 20),
+               "shard count " << text << " out of range [1, 2^20]");
+  return static_cast<int>(v);
+}
 
 Network::Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed)
     : graph_(&graph),
@@ -22,7 +41,7 @@ Network::Network(const Graph& graph, RoundLedger& ledger, std::uint64_t seed)
   // process -- how the *_sharded CTest variants re-run whole suites over
   // the plane without touching call sites (docs/sharding.md).
   if (const char* env = std::getenv("XD_SHARDS")) {
-    const int s = std::atoi(env);
+    const int s = parse_shard_count(env);
     if (s > 1) set_shards(s);
   }
 }

@@ -56,6 +56,14 @@
 
 namespace xd::congest {
 
+/// Strict parser for shard counts (the XD_SHARDS environment variable and
+/// any CLI flag that feeds set_shards).  Accepts a base-10 integer with
+/// optional surrounding whitespace; rejects empty strings, garbage,
+/// trailing junk ("4x"), zero, negatives, and absurd values (> 2^20) with
+/// a CheckError -- a mistyped shard count must never silently run
+/// unsharded.
+int parse_shard_count(const char* text);
+
 /// Round-synchronous message-passing network over a fixed topology.
 class Network {
  public:

@@ -2,23 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/fault_plane.hpp"
 
 namespace xd::congest {
 
 namespace detail {
 
-namespace {
-std::function<void(int)> spawn_fault_hook;
-}  // namespace
-
 void set_spawn_fault_hook_for_testing(std::function<void(int)> hook) {
-  spawn_fault_hook = std::move(hook);
+  FaultPlane::instance().set_hook("sched.spawn", std::move(hook));
 }
 
 }  // namespace detail
@@ -27,17 +26,40 @@ namespace {
 
 /// Spawns `workers` threads over `body(worker)`, joins them, and rethrows
 /// the first exception so XD_CHECK failures inside a worker surface as the
-/// same catchable error the serial path gives.
+/// same catchable error the serial path gives.  Worker fault sites
+/// (sched.spawn before construction, sched.stall / sched.throw inside the
+/// worker) inject resource exhaustion, stragglers, and mid-epoch errors on
+/// demand; either way every spawned thread is joined exactly once.
 void spawn_join(int workers, const std::function<void(int)>& body) {
+  FaultPlane& faults = FaultPlane::instance();
+  const bool sched_armed = faults.armed(FaultCategory::kSched);
   std::exception_ptr first_error;
   std::mutex error_mu;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   try {
     for (int w = 0; w < workers; ++w) {
-      if (detail::spawn_fault_hook) detail::spawn_fault_hook(w);
+      if (sched_armed) {
+        faults.call_hook("sched.spawn", w);
+        if (faults.should_fire("sched.spawn",
+                               static_cast<std::uint64_t>(w))) {
+          throw CheckError("injected fault: sched.spawn at worker " +
+                           std::to_string(w));
+        }
+      }
       pool.emplace_back([&, w] {
         try {
+          if (sched_armed) {
+            if (faults.should_fire("sched.stall",
+                                   static_cast<std::uint64_t>(w))) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+            if (faults.should_fire("sched.throw",
+                                   static_cast<std::uint64_t>(w))) {
+              throw CheckError("injected fault: sched.throw in worker " +
+                               std::to_string(w));
+            }
+          }
           body(w);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mu);

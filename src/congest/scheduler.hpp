@@ -31,8 +31,11 @@ namespace detail {
 
 /// Test hook: called with the worker index immediately before that worker's
 /// std::thread is constructed; a throwing hook simulates thread creation
-/// failing mid-loop (resource exhaustion).  Set from a single thread while
-/// no pool is running; pass {} to reset.
+/// failing mid-loop (resource exhaustion).  Backed by the fault-plane
+/// registry's "sched.spawn" hook slot (util/fault_plane.hpp), so setting it
+/// is thread-safe; pass {} to reset.  The fault plane's own sched.* sites
+/// (sched.spawn / sched.stall / sched.throw) inject the same failures from
+/// an XD_FAULTS spec without any hook.
 void set_spawn_fault_hook_for_testing(std::function<void(int)> hook);
 
 }  // namespace detail

@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <sstream>
+#include <string>
 
 #include "congest/scheduler.hpp"
 #include "util/check.hpp"
+#include "util/crc32c.hpp"
+#include "util/fault_plane.hpp"
 
 namespace xd::congest {
 
 namespace {
 
-constexpr std::size_t kWireHeaderBytes = 24;
+constexpr std::size_t kWireHeaderBytes = 40;        // v2
+constexpr std::size_t kWireLegacyHeaderBytes = 24;  // v1
+constexpr std::size_t kWireCrcOffset = 32;
 constexpr std::size_t kWireRecordBytes = 28;
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -28,9 +34,101 @@ int clamp_workers(int workers, int shards) {
 
 // ------------------------------------------------------------- wire format --
 
+namespace {
+
+/// CRC-32C of a v2 frame with the crc field's own four bytes taken as zero
+/// (three streaming chunks; the xor conventions cancel across calls).
+std::uint32_t frame_crc(std::span<const unsigned char> bytes) {
+  static constexpr unsigned char kZero[4] = {0, 0, 0, 0};
+  std::uint32_t c = crc32c(bytes.data(), kWireCrcOffset);
+  c = crc32c_update(c, kZero, 4);
+  return crc32c_update(c, bytes.data() + kWireCrcOffset + 4,
+                       bytes.size() - kWireCrcOffset - 4);
+}
+
+/// Shared decode core: fills the outputs and returns true, or (for any
+/// structural or integrity defect) writes a diagnostic into *err and
+/// returns false.  Every byte read is bounds-checked before the read, so
+/// arbitrarily damaged frames are rejected, never UB.
+bool decode_impl(std::span<const unsigned char> bytes,
+                 std::uint32_t* sender_shard, std::uint32_t* dest_shard,
+                 detail::StagingBuffer* out, std::uint64_t* seq,
+                 std::string* err) {
+  const auto fail = [err](auto&&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    *err = os.str();
+    return false;
+  };
+  if (bytes.size() < kWireLegacyHeaderBytes) {
+    return fail("shard buffer truncated: ", bytes.size(),
+                " bytes, header needs ", kWireLegacyHeaderBytes);
+  }
+  const unsigned char* p = bytes.data();
+  auto get32 = [&p] {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    return v;
+  };
+  auto get64 = [&p] {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  };
+  const std::uint32_t magic = get32();
+  if (magic != kShardBufferMagic) {
+    return fail("shard buffer bad magic ", magic);
+  }
+  const std::uint32_t version = get32();
+  if (version != kShardBufferVersion && version != kShardBufferLegacyVersion) {
+    return fail("shard buffer version ", version, " unsupported (want ",
+                kShardBufferVersion, " or ", kShardBufferLegacyVersion, ")");
+  }
+  const std::size_t header_bytes = version == kShardBufferLegacyVersion
+                                       ? kWireLegacyHeaderBytes
+                                       : kWireHeaderBytes;
+  if (bytes.size() < header_bytes) {
+    return fail("shard buffer truncated: ", bytes.size(),
+                " bytes, v", version, " header needs ", header_bytes);
+  }
+  *sender_shard = get32();
+  *dest_shard = get32();
+  const std::uint64_t count = get64();
+  std::uint64_t frame_seq = 0;
+  if (version == kShardBufferVersion) {
+    frame_seq = get64();
+    const std::uint32_t stored_crc = get32();
+    get32();  // reserved
+    if (stored_crc != frame_crc(bytes)) {
+      return fail("shard buffer CRC mismatch (stored ", stored_crc, ")");
+    }
+  }
+  if (seq != nullptr) *seq = frame_seq;
+  if (count > (bytes.size() - header_bytes) / kWireRecordBytes ||
+      bytes.size() != header_bytes + kWireRecordBytes * count) {
+    return fail("shard buffer size ", bytes.size(), " != header + ", count,
+                " records");
+  }
+  out->clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t slot = get32();
+    const VertexId from = get32();
+    Message msg;
+    msg.tag = get32();
+    msg.words[0] = get64();
+    msg.words[1] = get64();
+    out->push(slot, from, msg);
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<unsigned char> encode_shard_buffer(
     std::uint32_t sender_shard, std::uint32_t dest_shard,
-    const detail::StagingBuffer& buf) {
+    const detail::StagingBuffer& buf, std::uint64_t seq) {
   const std::uint64_t count = buf.size();
   std::vector<unsigned char> out(kWireHeaderBytes + kWireRecordBytes * count);
   unsigned char* p = out.data();
@@ -47,6 +145,9 @@ std::vector<unsigned char> encode_shard_buffer(
   put32(sender_shard);
   put32(dest_shard);
   put64(count);
+  put64(seq);
+  put32(0);  // crc placeholder, patched below
+  put32(0);  // reserved
   for (std::size_t i = 0; i < count; ++i) {
     put32(buf.slot[i]);
     put32(buf.from[i]);
@@ -54,52 +155,25 @@ std::vector<unsigned char> encode_shard_buffer(
     put64(buf.msg[i].words[0]);
     put64(buf.msg[i].words[1]);
   }
+  const std::uint32_t crc = frame_crc(out);
+  std::memcpy(out.data() + kWireCrcOffset, &crc, 4);
   return out;
 }
 
 void decode_shard_buffer(std::span<const unsigned char> bytes,
                          std::uint32_t* sender_shard, std::uint32_t* dest_shard,
-                         detail::StagingBuffer* out) {
-  XD_CHECK_MSG(bytes.size() >= kWireHeaderBytes,
-               "shard buffer truncated: " << bytes.size()
-                                          << " bytes, header needs "
-                                          << kWireHeaderBytes);
-  const unsigned char* p = bytes.data();
-  auto get32 = [&p] {
-    std::uint32_t v;
-    std::memcpy(&v, p, 4);
-    p += 4;
-    return v;
-  };
-  auto get64 = [&p] {
-    std::uint64_t v;
-    std::memcpy(&v, p, 8);
-    p += 8;
-    return v;
-  };
-  const std::uint32_t magic = get32();
-  XD_CHECK_MSG(magic == kShardBufferMagic,
-               "shard buffer bad magic 0x" << std::hex << magic);
-  const std::uint32_t version = get32();
-  XD_CHECK_MSG(version == kShardBufferVersion,
-               "shard buffer version " << version << " unsupported (want "
-                                       << kShardBufferVersion << ")");
-  *sender_shard = get32();
-  *dest_shard = get32();
-  const std::uint64_t count = get64();
-  XD_CHECK_MSG(bytes.size() == kWireHeaderBytes + kWireRecordBytes * count,
-               "shard buffer size " << bytes.size() << " != header + "
-                                    << count << " records");
-  out->clear();
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint32_t slot = get32();
-    const VertexId from = get32();
-    Message msg;
-    msg.tag = get32();
-    msg.words[0] = get64();
-    msg.words[1] = get64();
-    out->push(slot, from, msg);
-  }
+                         detail::StagingBuffer* out, std::uint64_t* seq) {
+  std::string err;
+  XD_CHECK_MSG(decode_impl(bytes, sender_shard, dest_shard, out, seq, &err),
+               err);
+}
+
+bool try_decode_shard_buffer(std::span<const unsigned char> bytes,
+                             std::uint32_t* sender_shard,
+                             std::uint32_t* dest_shard,
+                             detail::StagingBuffer* out, std::uint64_t* seq) {
+  std::string err;
+  return decode_impl(bytes, sender_shard, dest_shard, out, seq, &err);
 }
 
 // -------------------------------------------------------------- ShardPlane --
@@ -130,6 +204,7 @@ void ShardPlane::configure(const Graph& g, int shards) {
   counts_.assign(s_sz, {});
   key_scratch_.assign(s_sz, {});
   shard_msg_base_.assign(s_sz + 1, 0);
+  exchange_seq_ = 0;
   stats_ = {};
   stats_.shard.resize(s_sz);
 }
@@ -169,6 +244,122 @@ std::size_t ShardPlane::staged() const {
   std::size_t total = 0;
   for (const auto& b : bufs_) total += b.size();
   return total;
+}
+
+void ShardPlane::wire_exchange() {
+  // Transport semantics under test: every (sender, dest) buffer becomes an
+  // XDSB v2 frame, the fault plane damages frames in flight, and each
+  // destination column re-requests what it is missing from the senders'
+  // retained staging copies -- at most kMaxAttempts passes before the
+  // exchange is declared unrecoverable.  Runs serially (fault-armed runs
+  // trade speed for a deterministic hit order); fault keys are pure
+  // (seq, sender, dest, attempt) coordinates so p-triggers replay exactly.
+  constexpr int kMaxAttempts = 8;
+  FaultPlane& faults = FaultPlane::instance();
+  const std::uint64_t seq = ++exchange_seq_;
+  const std::uint64_t volume = graph_->volume();
+  const auto S = static_cast<std::size_t>(shards_);
+  std::vector<detail::StagingBuffer> col(S);
+  std::vector<char> have(S, 0);
+  detail::StagingBuffer scratch;
+  for (int s = 0; s < shards_; ++s) {
+    std::fill(have.begin(), have.end(), 0);
+    int attempt = 0;
+    for (; attempt < kMaxAttempts; ++attempt) {
+      std::vector<std::vector<unsigned char>> arrivals;
+      bool all_held = true;
+      for (int q = 0; q < shards_; ++q) {
+        if (have[static_cast<std::size_t>(q)]) continue;
+        all_held = false;
+        const std::uint64_t key =
+            (seq * 0x9E3779B97F4A7C15ull) ^
+            (static_cast<std::uint64_t>(q) << 20) ^
+            (static_cast<std::uint64_t>(s) << 8) ^
+            static_cast<std::uint64_t>(attempt);
+        if (attempt > 0) {
+          ++stats_.wire.retransmits;
+          faults.count("shard.retransmits");
+        }
+        if (faults.should_fire("shard.drop", key)) {
+          ++stats_.wire.dropped;
+          continue;  // the frame never arrives
+        }
+        std::vector<unsigned char> frame = encode_shard_buffer(
+            static_cast<std::uint32_t>(q), static_cast<std::uint32_t>(s),
+            bufs_[index(q, s)], seq);
+        ++stats_.wire.frames;
+        if (faults.should_fire("shard.corrupt", key)) {
+          const std::uint64_t bit =
+              faults.decision_mix("shard.corrupt", key) %
+              (static_cast<std::uint64_t>(frame.size()) * 8);
+          frame[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+        }
+        if (faults.should_fire("shard.dup", key)) {
+          ++stats_.wire.frames;
+          arrivals.push_back(frame);
+        }
+        arrivals.push_back(std::move(frame));
+      }
+      if (all_held) break;
+      if (arrivals.size() > 1 &&
+          faults.should_fire("shard.reorder",
+                             (seq << 16) ^ static_cast<std::uint64_t>(s))) {
+        ++stats_.wire.reordered;
+        std::reverse(arrivals.begin(), arrivals.end());
+      }
+      for (const auto& frame : arrivals) {
+        std::uint32_t sender = 0;
+        std::uint32_t dest = 0;
+        std::uint64_t frame_seq = 0;
+        if (!try_decode_shard_buffer(frame, &sender, &dest, &scratch,
+                                     &frame_seq)) {
+          ++stats_.wire.corrupted;
+          continue;
+        }
+        if (sender >= S || dest != static_cast<std::uint32_t>(s) ||
+            frame_seq != seq) {
+          ++stats_.wire.corrupted;  // valid frame, wrong coordinates
+          continue;
+        }
+        if (have[sender]) {
+          ++stats_.wire.duplicates;
+          continue;  // first valid copy wins
+        }
+        col[sender] = std::move(scratch);
+        scratch = {};
+        have[sender] = 1;
+      }
+    }
+    for (int q = 0; q < shards_; ++q) {
+      XD_CHECK_MSG(have[static_cast<std::size_t>(q)],
+                   "shard wire exchange unrecoverable: buffer (" << q << " -> "
+                       << s << ") still missing after " << attempt
+                       << " attempts (seq " << seq << ")");
+    }
+    // Commit the column: the decoded buffers replace the staging originals,
+    // record targets are rebuilt from the graph (with the shard invariant
+    // re-checked defensively), and the stage-time canonicalization metadata
+    // is invalidated so phase A's key sort recomputes order and congestion
+    // from the wire content -- identical content, identical results.
+    for (int q = 0; q < shards_; ++q) {
+      const std::size_t idx = index(q, s);
+      bufs_[idx] = std::move(col[static_cast<std::size_t>(q)]);
+      col[static_cast<std::size_t>(q)] = {};
+      const detail::StagingBuffer& b = bufs_[idx];
+      auto& tos = tos_[idx];
+      tos.clear();
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        XD_CHECK_MSG(b.slot[i] < volume,
+                     "wire record slot " << b.slot[i] << " out of range");
+        const VertexId to = graph_->slot_target(b.slot[i]);
+        XD_CHECK_MSG(vshard_[to] == static_cast<std::uint32_t>(s),
+                     "wire record routed to shard " << vshard_[to]
+                                                    << ", expected " << s);
+        tos.push_back(to);
+      }
+      stage_sorted_[idx] = 0;
+    }
+  }
 }
 
 void ShardPlane::phase_count(int s) {
@@ -278,6 +469,14 @@ void ShardPlane::deliver(std::vector<std::uint32_t>& inbox_offsets,
   const auto S = static_cast<std::size_t>(shards_);
   const std::size_t n = graph_->num_vertices();
   const int w = clamp_workers(workers, shards_);
+
+  // Fault-armed runs route every buffer through the wire frame path first
+  // (serial, deterministic); disarmed runs pay one relaxed load here and
+  // exchange buffers in memory as before.
+  if (shards_ > 1 &&
+      FaultPlane::instance().armed(FaultCategory::kShard)) {
+    wire_exchange();
+  }
 
   // Phase A, parallel over destination shards: canonicalize buffers, read
   // congestion, count receivers.  All writes are per-dest-shard-local.

@@ -46,26 +46,53 @@ struct ShardDeliveryStats {
     double scatter_ms = 0.0;  ///< offset publication + arena scatter
     std::uint64_t received = 0;
   };
+  /// Wire-exchange transport counters, cumulative since configure() (the
+  /// fault-armed frame path only; the in-memory fast path ships no frames).
+  struct Wire {
+    std::uint64_t frames = 0;       ///< frames emitted, incl. retransmits
+    std::uint64_t retransmits = 0;  ///< frames re-emitted after a bad attempt
+    std::uint64_t dropped = 0;      ///< frames lost to injected drops
+    std::uint64_t corrupted = 0;    ///< frames rejected (CRC / structure)
+    std::uint64_t duplicates = 0;   ///< valid copies discarded as duplicates
+    std::uint64_t reordered = 0;    ///< arrival batches delivered reversed
+  };
   std::vector<PerShard> shard;
+  Wire wire;
   std::uint64_t max_congestion = 0;
   std::size_t staged = 0;
 };
 
-/// Wire format of one aggregation buffer ("XDSB" version 1): a 24-byte
+/// Wire format of one aggregation buffer ("XDSB" version 2): a 40-byte
 /// header {magic u32, version u32, sender shard u32, dest shard u32, record
-/// count u64} followed by `count` packed 28-byte records {slot u32, from
-/// u32, Message{tag u32, words[2] u64}}, all little-endian.  deliver()
-/// swaps buffers through shared memory; a process-boundary transport would
-/// ship exactly these bytes (docs/sharding.md).
+/// count u64, sequence u64, crc32c u32, reserved u32} followed by `count`
+/// packed 28-byte records {slot u32, from u32, Message{tag u32, words[2]
+/// u64}}, all little-endian.  The CRC-32C covers the whole frame with the
+/// crc field's four bytes taken as zero; the sequence number stamps every
+/// frame of one logical exchange so stale retransmits are rejectable.
+/// Version-1 frames (24-byte header, no seq/crc) are still decodable.
+/// deliver() swaps buffers through shared memory; a process-boundary
+/// transport would ship exactly these bytes (docs/sharding.md,
+/// docs/robustness.md).
 inline constexpr std::uint32_t kShardBufferMagic = 0x42534458u;  // "XDSB"
-inline constexpr std::uint32_t kShardBufferVersion = 1;
+inline constexpr std::uint32_t kShardBufferVersion = 2;
+inline constexpr std::uint32_t kShardBufferLegacyVersion = 1;
 
 [[nodiscard]] std::vector<unsigned char> encode_shard_buffer(
     std::uint32_t sender_shard, std::uint32_t dest_shard,
-    const detail::StagingBuffer& buf);
+    const detail::StagingBuffer& buf, std::uint64_t seq = 0);
+/// Strict decode: throws CheckError on any structural or integrity defect.
+/// `seq` (optional) receives the frame's sequence number (0 for v1 frames).
 void decode_shard_buffer(std::span<const unsigned char> bytes,
                          std::uint32_t* sender_shard, std::uint32_t* dest_shard,
-                         detail::StagingBuffer* out);
+                         detail::StagingBuffer* out,
+                         std::uint64_t* seq = nullptr);
+/// Non-throwing decode for transport loops that expect damaged frames:
+/// returns false (and leaves *out unspecified) instead of throwing.
+[[nodiscard]] bool try_decode_shard_buffer(std::span<const unsigned char> bytes,
+                                           std::uint32_t* sender_shard,
+                                           std::uint32_t* dest_shard,
+                                           detail::StagingBuffer* out,
+                                           std::uint64_t* seq = nullptr);
 
 /// The S-shard delivery plane a Network runs when `set_shards(S > 1)`.
 /// Owned by Network; all staging entry points validate there first.
@@ -125,6 +152,17 @@ class ShardPlane {
     return bufs_[index(sender, dest)];
   }
 
+  /// Fault-armed transport step, run serially at the top of deliver():
+  /// every aggregation buffer crosses the exchange as an XDSB v2 frame,
+  /// injected faults (shard.drop / corrupt / dup / reorder) damage frames
+  /// in flight, and each destination column recovers by bounded re-request
+  /// from the senders' retained staging copies.  Decoded buffers replace
+  /// the originals with their canonicalization metadata invalidated, so
+  /// phase A recomputes order and congestion from the wire content --
+  /// bit-identical results under any recoverable fault schedule.  Exhausted
+  /// retries throw CheckError.
+  void wire_exchange();
+
   /// Phase A for dest shard s: canonicalize its S incoming buffers (sorted
   /// detection, else a stable (slot, index) key sort recorded in order_),
   /// read per-slot congestion runs, count per-receiver messages.
@@ -160,6 +198,8 @@ class ShardPlane {
   std::vector<std::vector<std::uint64_t>> key_scratch_;
   /// Size S+1: global message offset where each shard's arena begins.
   std::vector<std::uint32_t> shard_msg_base_;
+  /// Logical-exchange sequence stamped into every wire frame.
+  std::uint64_t exchange_seq_ = 0;
   ShardDeliveryStats stats_;
 };
 

@@ -1,9 +1,11 @@
 #include "graph/file_bytes.hpp"
 
 #include <cerrno>
+#include <cstdint>
 #include <fstream>
 
 #include "util/check.hpp"
+#include "util/fault_plane.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define XD_IO_HAVE_MMAP 1
@@ -35,6 +37,7 @@ FileBytes::FileBytes(const std::string& path) {
     }
     if (map_ != nullptr || size_ == 0) {
       ::close(fd);
+      inject_faults(path);
       return;
     }
     buf_.reserve(size_);
@@ -53,6 +56,7 @@ FileBytes::FileBytes(const std::string& path) {
   ::close(fd);
   size_ = buf_.size();
   data_ = buf_.data();
+  inject_faults(path);
 #else
   // No POSIX: sized single reads would trust a seek that non-seekable
   // inputs do not support, so read fixed chunks until EOF here too.
@@ -66,7 +70,51 @@ FileBytes::FileBytes(const std::string& path) {
   XD_CHECK_MSG(is.eof(), "read failed on " << path);
   size_ = buf_.size();
   data_ = buf_.data();
+  inject_faults(path);
 #endif
+}
+
+void FileBytes::inject_faults(const std::string& path) {
+  FaultPlane& faults = FaultPlane::instance();
+  if (!faults.armed(FaultCategory::kIo) || size_ == 0) return;
+  // One key per load: FNV-1a of the path mixed with the byte size, so the
+  // damage (and its location) replays exactly for the same file regardless
+  // of which test or thread triggers the load.
+  std::uint64_t key = 0xCBF29CE484222325ull;
+  for (const char c : path) {
+    key ^= static_cast<unsigned char>(c);
+    key *= 0x100000001B3ull;
+  }
+  key ^= size_;
+  const bool truncate = faults.should_fire("io.truncate", key);
+  const bool bitflip = faults.should_fire("io.bitflip", key);
+  const bool short_read = faults.should_fire("io.short_read", key);
+  if (!truncate && !bitflip && !short_read) return;
+  if (map_ != nullptr) {
+    // The mapping is read-only; damage wants a private mutable copy.
+    buf_.assign(map_, map_ + size_);
+#if XD_IO_HAVE_MMAP
+    ::munmap(const_cast<unsigned char*>(map_), size_);
+#endif
+    map_ = nullptr;
+  }
+  if (short_read) {
+    // A transport that quit early: lose a 64 KiB tail (or half of a small
+    // file) -- the shape a short read(2) loop bug would produce.
+    size_ = size_ > (std::size_t{1} << 16) ? size_ - (std::size_t{1} << 16)
+                                           : size_ / 2;
+  }
+  if (truncate && size_ > 0) {
+    size_ = faults.decision_mix("io.truncate", key) % size_;
+  }
+  if (bitflip && size_ > 0) {
+    const std::uint64_t bit =
+        faults.decision_mix("io.bitflip", key) % (std::uint64_t{size_} * 8);
+    buf_[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<unsigned char>(1u << (bit % 8));
+  }
+  buf_.resize(size_);
+  data_ = buf_.data();
 }
 
 FileBytes::~FileBytes() {

@@ -34,6 +34,14 @@ class FileBytes {
   [[nodiscard]] std::size_t size() const { return size_; }
 
  private:
+  /// Fault-plane hook (io.truncate / io.bitflip / io.short_read): when an
+  /// io.* site fires for this path, the freshly loaded bytes are damaged in
+  /// place -- deterministically, keyed on (path, size) -- before any parser
+  /// sees them.  This is how the loader tests prove every corruption
+  /// surfaces as a typed CheckError, never UB.  Disarmed cost: one relaxed
+  /// atomic load.
+  void inject_faults(const std::string& path);
+
   const unsigned char* data_ = nullptr;
   std::size_t size_ = 0;
   const unsigned char* map_ = nullptr;

@@ -11,6 +11,7 @@
 #include "expander/decomposition.hpp"
 #include "graph/file_bytes.hpp"
 #include "util/check.hpp"
+#include "util/crc32c.hpp"
 #include "util/rng.hpp"
 
 namespace xd::serve {
@@ -25,6 +26,9 @@ static_assert(std::endian::native == std::endian::little,
 constexpr std::size_t kHeaderBytes = 32;
 constexpr std::size_t kSectionEntryBytes = 24;
 constexpr std::size_t kSectionCount = 6;
+/// Offset of the header's reserved u64, now the whole-file CRC-32C slot
+/// (0 = checksum absent, the legacy meaning of the reserved field).
+constexpr std::size_t kCrcAt = 24;
 
 constexpr std::uint32_t section_tag(const char (&t)[5]) {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(t[0])) |
@@ -146,6 +150,10 @@ void PreparedArtifact::build_index() {
   std::vector<std::uint32_t> cursor(tri_offsets.begin(), tri_offsets.end() - 1);
   for (std::uint32_t i = 0; i < triangles.size(); ++i) {
     for (const VertexId v : triangles[i]) tri_ids[cursor[v]++] = i;
+  }
+  comp_triangles.assign(num_components, 0);
+  if (!component.empty()) {
+    for (const auto& t : triangles) ++comp_triangles[component[t[0]]];
   }
 }
 
@@ -385,6 +393,15 @@ void save_artifact(const PreparedArtifact& art, const std::string& path) {
 
   sink.patch_u64(file_size_at, sink.size());
 
+  // Header integrity: CRC-32C of the whole file computed while the
+  // reserved u64 at offset 24 still holds zero, then stored there (the low
+  // 32 bits; the high 32 stay zero).  Loaders recompute over the same
+  // zeroed field; a legacy file's zero there means "no checksum" and skips
+  // the verify, so version stays 1 and save(load(save(x))) stays
+  // byte-identical.
+  const std::uint32_t crc = crc32c(sink.bytes().data(), sink.size());
+  sink.patch_u64(kCrcAt, crc);
+
   std::ofstream os(path, std::ios::binary);
   XD_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
   os.write(reinterpret_cast<const char*>(sink.bytes().data()),
@@ -414,6 +431,20 @@ PreparedArtifact load_artifact(const std::string& path) {
   XD_CHECK_MSG(file_size == file.size(),
                path << ": header claims " << file_size << " bytes, file has "
                     << file.size());
+  const auto stored_crc = header.get<std::uint64_t>();
+  XD_CHECK_MSG(stored_crc <= 0xffffffffu,
+               path << ": reserved header bits set (not an XDA1 checksum)");
+  if (stored_crc != 0) {
+    // Recompute over the file with the crc slot taken as zero (the bytes
+    // it held when the writer checksummed them).
+    static constexpr unsigned char kZero[8] = {0};
+    std::uint32_t c = crc32c(file.data(), kCrcAt);
+    c = crc32c_update(c, kZero, 8);
+    c = crc32c_update(c, file.data() + kCrcAt + 8, file.size() - kCrcAt - 8);
+    XD_CHECK_MSG(c == stored_crc,
+                 path << ": file checksum mismatch (stored " << stored_crc
+                      << ", computed " << c << ") -- corrupt artifact");
+  }
 
   const std::size_t table_end =
       kHeaderBytes + kSectionCount * kSectionEntryBytes;

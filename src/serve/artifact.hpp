@@ -108,6 +108,12 @@ struct PreparedArtifact {
   /// tri_ids[tri_offsets[v] .. tri_offsets[v+1]), ascending triangle ids.
   std::vector<std::uint32_t> tri_offsets;
   std::vector<std::uint32_t> tri_ids;
+  /// Per-component triangle counts (a triangle belongs to its first
+  /// vertex's component -- triangles never span components, the removed
+  /// overlay cuts them).  The degraded-answer path of the QueryService
+  /// serves component-local counts from this when a global answer is out
+  /// of budget (docs/robustness.md).
+  std::vector<std::uint64_t> comp_triangles;
 
   /// (Re)builds the derived incidence index from `triangles`.
   void build_index();

@@ -22,6 +22,16 @@
 /// Results come back in admission order and are bit-identical for every
 /// ServiceParams::threads setting; per-client RoundLedger-style sums are
 /// tracked in ClientStats.
+///
+/// Robustness (docs/robustness.md): flush_report() wraps the two phases in
+/// a retry ladder.  A flush the fault plane fails (serve.flush) is retried
+/// with capped exponential backoff against a scratch ledger -- the shared
+/// clock only absorbs the attempt that commits, so a faulty run charges
+/// exactly what the fault-free run charges.  Per-query deadlines
+/// (ServiceParams::deadline_rounds) and exhausted retries degrade answers
+/// instead of throwing: QueryResult::exact flips false and the value falls
+/// back to a cheaper local summary (a component-local triangle count, a
+/// depth-sum route estimate).  ServiceHealth counts everything.
 
 #include <cstdint>
 #include <deque>
@@ -58,6 +68,7 @@ struct QueryResult {
   std::uint32_t client = 0;
   std::uint64_t ticket = 0;        ///< global admission sequence number
   bool ok = false;                 ///< false: bad operand / no route
+  bool exact = true;               ///< false: degraded (deadline / retries)
   std::uint64_t value = 0;         ///< count / 0-1 / label / hop count
   double scalar = 0.0;             ///< conductance (kConductance only)
   std::uint64_t rounds_charged = 0;///< model cost + drain arrival round
@@ -71,6 +82,39 @@ struct ServiceParams {
   int threads = 1;              ///< Phase A scheduler threads (>= 1)
   std::size_t max_pending = 1024;  ///< admission queue bound (backpressure)
   std::size_t max_batch = 256;     ///< queries executed per flush()
+  /// Per-query round budget (0 = no deadline).  A query whose model cost
+  /// would exceed it returns a truncated / estimated answer with
+  /// exact == false, charged exactly `deadline_rounds` -- deterministic at
+  /// every thread count (costs are model values, not wall-clock).
+  std::uint64_t deadline_rounds = 0;
+  /// Failed flushes (the serve.flush fault site) retry up to this many
+  /// times before degrading the whole batch.
+  int max_flush_retries = 3;
+  std::uint64_t backoff_base_us = 50;  ///< first retry sleep; doubles per try
+  std::uint64_t backoff_cap_us = 2000; ///< backoff ceiling
+};
+
+/// Why a flush_report() did not commit a normal batch.
+enum class FlushFailure : int {
+  kNone = 0,            ///< committed normally
+  kRetryExhausted = 1,  ///< every attempt faulted; batch degraded
+};
+
+/// One flush's outcome: the results plus how they were obtained.
+struct FlushReport {
+  std::vector<QueryResult> results;  ///< admission order, as flush()
+  int attempts = 1;                  ///< Phase A runs consumed (>= 1)
+  FlushFailure failure = FlushFailure::kNone;
+  bool degraded = false;  ///< batch served by the degraded fallback
+};
+
+/// Monotone robustness counters over the service's lifetime.
+struct ServiceHealth {
+  std::uint64_t faults_seen = 0;       ///< serve.flush faults hit
+  std::uint64_t flush_retries = 0;     ///< retry attempts spent
+  std::uint64_t degraded_answers = 0;  ///< results returned with exact=false
+  std::uint64_t deadline_hits = 0;     ///< degradations due to the deadline
+  std::uint64_t retransmits = 0;       ///< shard-plane wire retransmits
 };
 
 /// Per-client fork of the accounting: sums over that client's answers.
@@ -97,7 +141,20 @@ class QueryService {
 
   /// Executes up to max_batch pending queries (FIFO admission order) and
   /// returns their results in that order.  Empty queue -> empty vector.
+  /// Equivalent to flush_report().results.
   std::vector<QueryResult> flush();
+
+  /// flush() with the robustness envelope made visible: attempts consumed,
+  /// typed failure reason, and whether the batch fell back to degraded
+  /// answers.  Each attempt runs Phase A against a scratch ledger; only
+  /// the committing attempt's charges reach ledger(), so retries never
+  /// inflate the clock.  Never throws for injected flush faults -- the
+  /// worst outcome is a fully degraded batch (exact == false throughout).
+  FlushReport flush_report();
+
+  /// Snapshot of the robustness counters (retransmits read from the fault
+  /// plane's shard-wire ledger).
+  [[nodiscard]] ServiceHealth health() const;
 
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   [[nodiscard]] std::uint64_t total_served() const { return total_served_; }
@@ -121,6 +178,19 @@ class QueryService {
     Query query;
   };
 
+  /// Phase A of one attempt: compute `taken` read-only against the
+  /// artifact, charging `scratch`.  Deterministic, so a retry recomputes
+  /// identical results.
+  void run_phase_a(const std::vector<Pending>& taken,
+                   congest::RoundLedger& scratch,
+                   std::vector<QueryResult>& results,
+                   std::vector<std::vector<VertexId>>& route_paths) const;
+
+  /// Serial last-resort answers when retries are exhausted: cheap local
+  /// summaries (exact=false where the full answer was out of reach),
+  /// bypassing the pool and the arena entirely.
+  std::vector<QueryResult> degraded_answers(const std::vector<Pending>& taken);
+
   const PreparedArtifact& art_;
   ServiceParams prm_;
   congest::EpochScheduler pool_;
@@ -131,6 +201,8 @@ class QueryService {
   std::uint64_t next_ticket_ = 0;
   std::uint64_t total_served_ = 0;
   std::uint64_t total_rejected_ = 0;
+  std::uint64_t flush_seq_ = 0;  ///< fault key coordinate per flush
+  ServiceHealth health_;
 };
 
 }  // namespace xd::serve

@@ -1,0 +1,259 @@
+#include "util/fault_plane.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace xd {
+
+namespace {
+
+/// The site catalog.  configure() and set_hook() reject anything else, so
+/// a typo'd fault plan fails loudly instead of silently running clean.
+constexpr std::array<std::string_view, 11> kKnownSites = {
+    "shard.drop",  "shard.corrupt", "shard.dup",     "shard.reorder",
+    "sched.spawn", "sched.stall",   "sched.throw",   "io.truncate",
+    "io.bitflip",  "io.short_read", "serve.flush",
+};
+
+bool known_site(std::string_view site) {
+  for (const std::string_view s : kKnownSites) {
+    if (s == site) return true;
+  }
+  return false;
+}
+
+FaultCategory category_of(std::string_view site) {
+  if (site.starts_with("shard.")) return FaultCategory::kShard;
+  if (site.starts_with("sched.")) return FaultCategory::kSched;
+  if (site.starts_with("io.")) return FaultCategory::kIo;
+  XD_CHECK_MSG(site.starts_with("serve."),
+               "fault site '" << site << "' has no category prefix");
+  return FaultCategory::kServe;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view clause) {
+  const std::string s(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  XD_CHECK_MSG(!s.empty() && end == s.c_str() + s.size() && errno != ERANGE &&
+                   s[0] != '-',
+               "XD_FAULTS: '" << text << "' in clause '" << clause
+                              << "' is not an unsigned integer");
+  return v;
+}
+
+double parse_prob(std::string_view text, std::string_view clause) {
+  const std::string s(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  XD_CHECK_MSG(!s.empty() && end == s.c_str() + s.size() && errno != ERANGE &&
+                   v >= 0.0 && v <= 1.0,
+               "XD_FAULTS: '" << text << "' in clause '" << clause
+                              << "' is not a probability in [0, 1]");
+  return v;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+FaultPlane& FaultPlane::instance() {
+  // Leaked singleton: fault sites are probed from worker threads that may
+  // outlive static destruction order.
+  static FaultPlane* plane = [] {
+    auto* p = new FaultPlane();
+    if (const char* env = std::getenv("XD_FAULTS")) p->configure(env);
+    return p;
+  }();
+  return *plane;
+}
+
+void FaultPlane::configure(const std::string& spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view clause =
+        trim(comma == std::string_view::npos ? rest : rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (clause.empty()) continue;
+    if (clause.starts_with("seed=")) {
+      seed_ = parse_u64(clause.substr(5), clause);
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    XD_CHECK_MSG(colon != std::string_view::npos,
+                 "XD_FAULTS: clause '" << clause
+                                       << "' wants site:trigger[/trigger...]");
+    const std::string_view site = trim(clause.substr(0, colon));
+    XD_CHECK_MSG(known_site(site),
+                 "XD_FAULTS: unknown fault site '" << site << "'");
+    Site rule;
+    std::string_view triggers = clause.substr(colon + 1);
+    bool any = false;
+    while (!triggers.empty()) {
+      const std::size_t slash = triggers.find('/');
+      const std::string_view t = trim(
+          slash == std::string_view::npos ? triggers
+                                          : triggers.substr(0, slash));
+      triggers = slash == std::string_view::npos ? std::string_view{}
+                                                 : triggers.substr(slash + 1);
+      XD_CHECK_MSG(!t.empty(),
+                   "XD_FAULTS: empty trigger in clause '" << clause << "'");
+      if (t.starts_with("p=")) {
+        rule.p = parse_prob(t.substr(2), clause);
+      } else if (t.starts_with("every=")) {
+        rule.every = parse_u64(t.substr(6), clause);
+        XD_CHECK_MSG(rule.every > 0,
+                     "XD_FAULTS: every=0 in clause '" << clause << "'");
+      } else if (t.starts_with("at=")) {
+        rule.at = parse_u64(t.substr(3), clause);
+        XD_CHECK_MSG(rule.at > 0,
+                     "XD_FAULTS: at=0 in clause '" << clause << "'");
+      } else if (t.starts_with("max=")) {
+        rule.max_fires = parse_u64(t.substr(4), clause);
+      } else {
+        XD_CHECK_MSG(false, "XD_FAULTS: unknown trigger '"
+                                << t << "' in clause '" << clause << "'");
+      }
+      any = true;
+    }
+    XD_CHECK_MSG(any, "XD_FAULTS: clause '" << clause << "' has no trigger");
+    sites_[std::string(site)] = rule;
+  }
+  recompute_armed_locked();
+}
+
+void FaultPlane::set_seed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+void FaultPlane::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  hooks_.clear();
+  counters_.clear();
+  seed_ = 0x5EEDFA17u;
+  recompute_armed_locked();
+}
+
+void FaultPlane::recompute_armed_locked() {
+  unsigned mask = 0;
+  for (const auto& [site, rule] : sites_) {
+    mask |= 1u << static_cast<int>(category_of(site));
+  }
+  for (const auto& [site, hook] : hooks_) {
+    if (hook) mask |= 1u << static_cast<int>(category_of(site));
+  }
+  armed_mask_.store(mask, std::memory_order_relaxed);
+}
+
+bool FaultPlane::should_fire(std::string_view site, std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  if (s.fired >= s.max_fires) return false;
+  bool fire = false;
+  if (s.every > 0 && s.hits % s.every == 0) fire = true;
+  if (s.at > 0 && s.hits == s.at) fire = true;
+  if (!fire && s.p > 0.0) {
+    const std::uint64_t h =
+        mix64(seed_ ^ fnv1a64(site) ^ (key * 0x9E3779B97F4A7C15ull));
+    // Top 53 bits -> uniform double in [0, 1).
+    fire = static_cast<double>(h >> 11) * 0x1.0p-53 < s.p;
+  }
+  if (!fire) return false;
+  ++s.fired;
+  return true;
+}
+
+std::uint64_t FaultPlane::decision_mix(std::string_view site,
+                                       std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return mix64(seed_ ^ fnv1a64(site) ^ (key * 0x9E3779B97F4A7C15ull) ^
+               0xD15EA5Eull);
+}
+
+std::uint64_t FaultPlane::hits(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultPlane::fires(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+void FaultPlane::count(std::string_view name, std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_[std::string(name)] += n;
+}
+
+std::uint64_t FaultPlane::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void FaultPlane::set_hook(std::string_view site,
+                          std::function<void(int)> hook) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  XD_CHECK_MSG(known_site(site), "unknown fault site '" << site << "'");
+  if (hook) {
+    hooks_[std::string(site)] = std::move(hook);
+  } else {
+    hooks_.erase(std::string(site));
+  }
+  recompute_armed_locked();
+}
+
+void FaultPlane::call_hook(std::string_view site, int arg) {
+  std::function<void(int)> hook;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = hooks_.find(site);
+    if (it == hooks_.end()) return;
+    hook = it->second;  // copy: the hook runs outside the registry lock
+  }
+  hook(arg);
+}
+
+}  // namespace xd

@@ -141,6 +141,69 @@ TEST(Serve, BackpressureBoundsThePendingQueue) {
   EXPECT_EQ(svc.total_served(), prm.max_pending);
 }
 
+TEST(Serve, SubmitAtExactlyMaxPendingBoundary) {
+  const auto art = golden_artifact();
+  ServiceParams prm;
+  prm.max_pending = 4;
+  QueryService svc(art, prm);
+  Query q{QueryKind::kTriangleCount, 0, 0, 0};
+
+  // Fill to the boundary: the max_pending-th submit is still accepted...
+  for (std::size_t i = 0; i < prm.max_pending; ++i) {
+    EXPECT_TRUE(svc.submit(0, q)) << i;
+  }
+  EXPECT_EQ(svc.pending(), prm.max_pending);
+  EXPECT_EQ(svc.total_rejected(), 0u);
+  // ...and the very next one bounces without growing the queue.
+  EXPECT_FALSE(svc.submit(0, q));
+  EXPECT_EQ(svc.pending(), prm.max_pending);
+  EXPECT_EQ(svc.total_rejected(), 1u);
+  // Draining one slot reopens admission exactly at the boundary.
+  (void)svc.flush();
+  EXPECT_TRUE(svc.submit(0, q));
+}
+
+TEST(Serve, FlushWithZeroPendingIsFree) {
+  const auto art = golden_artifact();
+  QueryService svc(art, ServiceParams{});
+  const auto rep = svc.flush_report();
+  EXPECT_TRUE(rep.results.empty());
+  EXPECT_EQ(rep.failure, FlushFailure::kNone);
+  EXPECT_FALSE(rep.degraded);
+  // An empty flush charges nothing and serves nobody.
+  EXPECT_EQ(svc.ledger().rounds(), 0u);
+  EXPECT_EQ(svc.ledger().messages(), 0u);
+  EXPECT_EQ(svc.total_served(), 0u);
+  EXPECT_TRUE(svc.clients().empty());
+  EXPECT_TRUE(svc.flush().empty());  // idempotent
+}
+
+TEST(Serve, ClientStatsAfterARejectedSubmit) {
+  const auto art = golden_artifact();
+  ServiceParams prm;
+  prm.max_pending = 1;
+  QueryService svc(art, prm);
+  Query q{QueryKind::kComponentOf, 2, 0, 0};
+
+  ASSERT_TRUE(svc.submit(9, q));
+  ASSERT_FALSE(svc.submit(9, q));  // bounced: queue full
+  // A rejection counts as submitted (the client did ask) but never as
+  // served, and charges nothing.
+  const auto& before = svc.clients().at(9);
+  EXPECT_EQ(before.submitted, 2u);
+  EXPECT_EQ(before.rejected, 1u);
+  EXPECT_EQ(before.served, 0u);
+  EXPECT_EQ(before.rounds, 0u);
+
+  const auto rs = svc.flush();
+  ASSERT_EQ(rs.size(), 1u);  // only the accepted query was answered
+  const auto& after = svc.clients().at(9);
+  EXPECT_EQ(after.submitted, 2u);
+  EXPECT_EQ(after.rejected, 1u);
+  EXPECT_EQ(after.served, 1u);
+  EXPECT_EQ(after.submitted, after.served + after.rejected + svc.pending());
+}
+
 // ------------------------------------------------------- client ledgers
 
 TEST(Serve, PerClientStatsSumTheirAnswers) {

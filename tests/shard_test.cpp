@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -264,21 +265,88 @@ TEST(ShardWire, BufferRoundTrip) {
   buf.push(17, 3, Message{1, 0xdeadbeefull, 42});
   buf.push(17, 3, Message{2, 7});
   buf.push(901, 12, Message{3, 0xffffffffffffffffull, 1});
-  const std::vector<unsigned char> bytes = encode_shard_buffer(3, 5, buf);
-  EXPECT_EQ(bytes.size(), 24u + 28u * buf.size());
+  const std::vector<unsigned char> bytes =
+      encode_shard_buffer(3, 5, buf, /*seq=*/77);
+  EXPECT_EQ(bytes.size(), 40u + 28u * buf.size());
 
   std::uint32_t sender = 0;
   std::uint32_t dest = 0;
+  std::uint64_t seq = 0;
   detail::StagingBuffer back;
   back.push(999, 999, Message{9, 9});  // decode must clear stale contents
-  decode_shard_buffer(bytes, &sender, &dest, &back);
+  decode_shard_buffer(bytes, &sender, &dest, &back, &seq);
   EXPECT_EQ(sender, 3u);
   EXPECT_EQ(dest, 5u);
+  EXPECT_EQ(seq, 77u);
   ASSERT_EQ(back.size(), buf.size());
   for (std::size_t i = 0; i < buf.size(); ++i) {
     EXPECT_EQ(back.slot[i], buf.slot[i]);
     EXPECT_EQ(back.from[i], buf.from[i]);
     EXPECT_EQ(back.msg[i], buf.msg[i]);
+  }
+}
+
+// A version-1 frame -- 24-byte header, no sequence number or CRC -- must
+// still decode (reported as seq 0): prepared buffer dumps from before the
+// v2 format stay readable.
+TEST(ShardWire, DecodesLegacyV1Frames) {
+  detail::StagingBuffer buf;
+  buf.push(5, 2, Message{4, 11, 12});
+  std::vector<unsigned char> v1;
+  const auto put32 = [&v1](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      v1.push_back(static_cast<unsigned char>(v >> (8 * b)));
+    }
+  };
+  const auto put64 = [&v1](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      v1.push_back(static_cast<unsigned char>(v >> (8 * b)));
+    }
+  };
+  put32(kShardBufferMagic);
+  put32(kShardBufferLegacyVersion);
+  put32(1);  // sender
+  put32(2);  // dest
+  put64(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    put32(buf.slot[i]);
+    put32(buf.from[i]);
+    put32(buf.msg[i].tag);
+    put64(buf.msg[i].words[0]);
+    put64(buf.msg[i].words[1]);
+  }
+  std::uint32_t sender = 0;
+  std::uint32_t dest = 0;
+  std::uint64_t seq = 99;
+  detail::StagingBuffer back;
+  decode_shard_buffer(v1, &sender, &dest, &back, &seq);
+  EXPECT_EQ(sender, 1u);
+  EXPECT_EQ(dest, 2u);
+  EXPECT_EQ(seq, 0u);
+  ASSERT_EQ(back.size(), buf.size());
+  EXPECT_EQ(back.slot[0], buf.slot[0]);
+  EXPECT_EQ(back.msg[0], buf.msg[0]);
+}
+
+// Any single flipped bit in a v2 frame -- header or payload -- must fail
+// the CRC (or a structural check) and be rejected; try_decode reports it
+// without throwing.
+TEST(ShardWire, CrcCatchesEveryBitFlip) {
+  detail::StagingBuffer buf;
+  buf.push(9, 4, Message{2, 0x123456789abcdef0ull, 3});
+  buf.push(10, 4, Message{5, 6});
+  const std::vector<unsigned char> bytes = encode_shard_buffer(1, 2, buf, 13);
+  std::uint32_t sender = 0;
+  std::uint32_t dest = 0;
+  detail::StagingBuffer out;
+  ASSERT_TRUE(try_decode_shard_buffer(bytes, &sender, &dest, &out));
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::vector<unsigned char> damaged = bytes;
+    damaged[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_FALSE(try_decode_shard_buffer(damaged, &sender, &dest, &out))
+        << "flip of bit " << bit << " went undetected";
+    EXPECT_THROW(decode_shard_buffer(damaged, &sender, &dest, &out),
+                 CheckError);
   }
 }
 
@@ -304,6 +372,44 @@ TEST(ShardWire, RejectsMalformedBuffers) {
   bad_version[4] ^= 0xff;
   EXPECT_THROW(decode_shard_buffer(bad_version, &sender, &dest, &out),
                CheckError);
+}
+
+TEST(ShardCount, ParserRejectsGarbageLoudly) {
+  EXPECT_EQ(parse_shard_count("1"), 1);
+  EXPECT_EQ(parse_shard_count("8"), 8);
+  EXPECT_EQ(parse_shard_count(" 16 "), 16);
+  EXPECT_THROW((void)parse_shard_count("0"), CheckError);
+  EXPECT_THROW((void)parse_shard_count("-4"), CheckError);
+  EXPECT_THROW((void)parse_shard_count(""), CheckError);
+  EXPECT_THROW((void)parse_shard_count("four"), CheckError);
+  EXPECT_THROW((void)parse_shard_count("4x"), CheckError);
+  EXPECT_THROW((void)parse_shard_count("4.5"), CheckError);
+  EXPECT_THROW((void)parse_shard_count("99999999999999999999"), CheckError);
+  EXPECT_THROW((void)parse_shard_count("1048577"), CheckError);  // > 2^20
+  EXPECT_THROW((void)parse_shard_count(nullptr), CheckError);
+}
+
+// A garbage XD_SHARDS value must fail Network construction loudly, not run
+// silently unsharded.
+TEST(ShardCount, NetworkCtorRejectsGarbageEnv) {
+  const char* saved = std::getenv("XD_SHARDS");
+  const std::string restore = saved != nullptr ? saved : "";
+  const Graph g = gen::star(5);
+  RoundLedger ledger;
+  ::setenv("XD_SHARDS", "bogus", 1);
+  EXPECT_THROW((Network{g, ledger}), CheckError);
+  ::setenv("XD_SHARDS", "0", 1);
+  EXPECT_THROW((Network{g, ledger}), CheckError);
+  ::setenv("XD_SHARDS", "2", 1);
+  {
+    Network net(g, ledger);
+    EXPECT_EQ(net.shards(), 2);
+  }
+  if (saved != nullptr) {
+    ::setenv("XD_SHARDS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("XD_SHARDS");
+  }
 }
 
 }  // namespace
