@@ -38,8 +38,10 @@
 #include "congest/message.hpp"
 #include "congest/network.hpp"
 #include "congest/scheduler.hpp"
+#include "expander/cross_check.hpp"
 #include "expander/decomposition.hpp"
 #include "expander/params.hpp"
+#include "expander/simple_parallel.hpp"
 #include "expander/verify.hpp"
 #include "graph/access.hpp"
 #include "graph/generators.hpp"

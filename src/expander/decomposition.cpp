@@ -7,6 +7,7 @@
 
 #include "congest/network.hpp"
 #include "congest/scheduler.hpp"
+#include "expander/simple_parallel.hpp"
 #include "graph/graph_view.hpp"
 #include "graph/metrics.hpp"
 #include "graph/subgraph.hpp"
@@ -384,11 +385,53 @@ ItemResult Driver::run_phase2(WorkItem& item, congest::RoundLedger& lg) const {
 
 }  // namespace
 
+namespace detail {
+
+void assemble_components(const Graph& g, const std::vector<char>& removed,
+                         const std::vector<std::vector<VertexId>>& finals,
+                         DecompositionResult& out) {
+  // Assemble component ids; every vertex must appear exactly once.
+  out.component.assign(g.num_vertices(), static_cast<std::uint32_t>(-1));
+  std::uint32_t next_id = 0;
+  for (const auto& ids : finals) {
+    // A final part can still be disconnected (e.g. the depth guard); split
+    // it so components are genuinely connected in the remaining graph --
+    // on the view overlay, where removed edges read as loops and are never
+    // traversed.
+    const GraphView live(g, &removed, VertexSet(ids));
+    auto [comp, count] = connected_components(live);
+    std::vector<std::uint32_t> local_to_global(count,
+                                               static_cast<std::uint32_t>(-1));
+    for (const VertexId pv : live.vertices()) {
+      auto& slot = local_to_global[comp[pv]];
+      if (slot == static_cast<std::uint32_t>(-1)) slot = next_id++;
+      XD_CHECK_MSG(out.component[pv] == static_cast<std::uint32_t>(-1),
+                   "vertex " << pv << " assigned twice");
+      out.component[pv] = slot;
+    }
+    if (live.num_active() == 0 && !ids.empty()) {
+      // Degenerate: isolated final ids (an empty active set cannot happen
+      // for non-empty ids, but keep the invariant airtight).
+      for (VertexId pv : ids) out.component[pv] = next_id++;
+    }
+  }
+  out.num_components = next_id;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    XD_CHECK_MSG(out.component[v] != static_cast<std::uint32_t>(-1),
+                 "vertex " << v << " missing from the decomposition");
+  }
+}
+
+}  // namespace detail
+
 DecompositionResult expander_decomposition(const Graph& g,
                                            const DecompositionParams& prm,
                                            Rng& rng,
                                            congest::RoundLedger& ledger) {
   XD_CHECK(g.num_vertices() >= 2);
+  if (prm.backend == DecompositionBackend::kSimpleParallel) {
+    return detail::simple_parallel_decomposition(g, prm, rng, ledger);
+  }
   DecompositionResult out;
   out.schedule = derive_schedule(prm, g.num_vertices(),
                                  std::max<std::size_t>(g.num_edges(), 1),
@@ -422,37 +465,10 @@ DecompositionResult expander_decomposition(const Graph& g,
 
   out.removed_edge = driver.removed;
   out.rounds = ledger.rounds() - rounds_before;
+  out.backend = DecompositionBackend::kNibble;
+  out.phi_guarantee = out.schedule.phi_final();
 
-  // Assemble component ids; every vertex must appear exactly once.
-  out.component.assign(g.num_vertices(), static_cast<std::uint32_t>(-1));
-  std::uint32_t next_id = 0;
-  for (const auto& ids : driver.finals) {
-    // A final part can still be disconnected (e.g. the depth guard); split
-    // it so components are genuinely connected in the remaining graph --
-    // on the view overlay, where removed edges read as loops and are never
-    // traversed.
-    const GraphView live(g, &driver.removed, VertexSet(ids));
-    auto [comp, count] = connected_components(live);
-    std::vector<std::uint32_t> local_to_global(count,
-                                               static_cast<std::uint32_t>(-1));
-    for (const VertexId pv : live.vertices()) {
-      auto& slot = local_to_global[comp[pv]];
-      if (slot == static_cast<std::uint32_t>(-1)) slot = next_id++;
-      XD_CHECK_MSG(out.component[pv] == static_cast<std::uint32_t>(-1),
-                   "vertex " << pv << " assigned twice");
-      out.component[pv] = slot;
-    }
-    if (live.num_active() == 0 && !ids.empty()) {
-      // Degenerate: isolated final ids (an empty active set cannot happen
-      // for non-empty ids, but keep the invariant airtight).
-      for (VertexId pv : ids) out.component[pv] = next_id++;
-    }
-  }
-  out.num_components = next_id;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    XD_CHECK_MSG(out.component[v] != static_cast<std::uint32_t>(-1),
-                 "vertex " << v << " missing from the decomposition");
-  }
+  detail::assemble_components(g, driver.removed, driver.finals, out);
   return out;
 }
 

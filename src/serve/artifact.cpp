@@ -204,6 +204,7 @@ PreparedArtifact prepare_artifact(const Graph& g, const PrepareParams& prm) {
   dprm.k = prm.enumerate.k;
   dprm.phi0_override = prm.enumerate.phi0_override;
   dprm.scheduler_threads = prm.enumerate.scheduler_threads;
+  dprm.backend = prm.decomp_backend;
   Rng drng = Rng(prm.seed).fork(0xD5C0);
   const auto decomp = expander::expander_decomposition(g, dprm, drng, ledger);
   art.component = decomp.component;
@@ -276,6 +277,7 @@ PreparedArtifact prepare_artifact(const Graph& g, const PrepareParams& prm) {
   art.k = prm.enumerate.k;
   art.phi0 = prm.enumerate.phi0_override;
   art.backend = static_cast<int>(prm.enumerate.backend);
+  art.decomp_backend = static_cast<int>(prm.decomp_backend);
   art.seed = prm.seed;
   art.build_rounds = ledger.rounds();
   art.build_messages = ledger.messages();
@@ -387,7 +389,7 @@ void save_artifact(const PreparedArtifact& art, const std::string& path) {
   sink.put<std::uint64_t>(art.enum_rounds);
   sink.put<std::uint64_t>(art.router_queries);
   sink.put<std::uint32_t>(art.enum_levels);
-  sink.put<std::uint32_t>(0);  // reserved
+  sink.put<std::uint32_t>(static_cast<std::uint32_t>(art.decomp_backend));
   sink.put<std::uint64_t>(art.clusters_processed);
   end_section();
 
@@ -643,7 +645,12 @@ PreparedArtifact load_artifact(const std::string& path) {
     art.enum_rounds = src.get<std::uint64_t>();
     art.router_queries = src.get<std::uint64_t>();
     art.enum_levels = src.get<std::uint32_t>();
-    src.get<std::uint32_t>();  // reserved
+    // The once-reserved slot now names the decomposition backend; legacy
+    // zero reads as nibble, and anything unknown is a typed load error.
+    art.decomp_backend = static_cast<int>(src.get<std::uint32_t>());
+    XD_CHECK_MSG(art.decomp_backend <= 1,
+                 path << ": META decomposition backend " << art.decomp_backend
+                      << " unknown");
     art.clusters_processed = src.get<std::uint64_t>();
   }
 

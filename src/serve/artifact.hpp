@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "expander/params.hpp"
 #include "graph/graph.hpp"
 #include "triangle/enumerate.hpp"
 
@@ -49,6 +50,11 @@ inline constexpr std::uint32_t kArtifactVersion = 1;
 struct PrepareParams {
   triangle::EnumParams enumerate;
   std::uint64_t seed = 17;
+  /// Which Theorem 1 driver preprocesses the serving partition
+  /// (docs/decomposition.md); recorded in META so a reloaded artifact
+  /// reports which backend built it.
+  expander::DecompositionBackend decomp_backend =
+      expander::DecompositionBackend::kNibble;
 };
 
 /// Per-component quality and hierarchy summary.
@@ -95,6 +101,10 @@ struct PreparedArtifact {
   int k = 0;
   double phi0 = 0.0;
   int backend = 0;  ///< triangle::RouterBackend of the build
+  /// expander::DecompositionBackend of the build (the legacy reserved
+  /// META slot: old files read back as 0 == nibble, and nibble-built
+  /// files stay byte-identical to pre-selector artifacts).
+  int decomp_backend = 0;
   std::uint64_t seed = 0;
   std::uint64_t build_rounds = 0;    ///< total charged rounds of the prepare
   std::uint64_t build_messages = 0;

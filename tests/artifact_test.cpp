@@ -198,6 +198,7 @@ TEST(Artifact, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.k, art.k);
   EXPECT_EQ(back.phi0, art.phi0);
   EXPECT_EQ(back.backend, art.backend);
+  EXPECT_EQ(back.decomp_backend, art.decomp_backend);
   EXPECT_EQ(back.seed, art.seed);
   EXPECT_EQ(back.build_rounds, art.build_rounds);
   EXPECT_EQ(back.build_messages, art.build_messages);
@@ -208,6 +209,30 @@ TEST(Artifact, RoundTripPreservesEveryField) {
   // The derived incidence index is rebuilt on load.
   EXPECT_EQ(back.tri_offsets, art.tri_offsets);
   EXPECT_EQ(back.tri_ids, art.tri_ids);
+}
+
+TEST(Artifact, DecompositionBackendRoundTripsThroughMeta) {
+  // The selector lands in the META section's once-reserved slot: a
+  // simple-parallel build reloads as simple-parallel, a default build
+  // reloads as nibble (and stays byte-compatible with legacy files whose
+  // slot was always zero).
+  PrepareParams prm = golden_params(0);
+  prm.decomp_backend = expander::DecompositionBackend::kSimpleParallel;
+  const auto art = prepare_artifact(small_graph(), prm);
+  EXPECT_EQ(art.decomp_backend, 1);
+  const std::string path = tmp_path("backend.xda");
+  save_artifact(art, path);
+  const auto back = load_artifact(path);
+  EXPECT_EQ(back.decomp_backend, 1);
+  EXPECT_STREQ(expander::to_string(static_cast<expander::DecompositionBackend>(
+                   back.decomp_backend)),
+               "simple-parallel");
+
+  const auto def = prepare_artifact(small_graph(), golden_params(0));
+  EXPECT_EQ(def.decomp_backend, 0);
+  EXPECT_STREQ(expander::to_string(static_cast<expander::DecompositionBackend>(
+                   def.decomp_backend)),
+               "nibble");
 }
 
 // ------------------------------------------------------------ query layer
@@ -400,6 +425,15 @@ TEST_F(ArtifactReject, TrianglesNotSorted) {
   auto b = bytes_;
   patch<std::uint32_t>(b, section_offset(b, 4) + 8, 0xfffffff0u);
   expect_reject(b, "triangle order");
+}
+
+TEST_F(ArtifactReject, UnknownDecompositionBackend) {
+  auto b = bytes_;
+  // Zero the whole-file checksum first (legacy "no checksum" sentinel) so
+  // the META range check itself fires, not the CRC mismatch.
+  patch<std::uint64_t>(b, 24, 0);
+  patch<std::uint32_t>(b, section_offset(b, 5) + 68, 7u);
+  expect_reject(b, "decomposition backend");
 }
 
 TEST_F(ArtifactReject, MetaSizeWrong) {

@@ -1,0 +1,130 @@
+#include "expander/cross_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/ledger.hpp"
+#include "corpus.hpp"
+#include "expander/decomposition.hpp"
+#include "expander/verify.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace xd::expander {
+namespace {
+
+DecompositionParams harness_params() {
+  DecompositionParams prm;
+  prm.epsilon = 0.3;
+  prm.k = 2;
+  prm.phi0_override = 0.05;
+  return prm;
+}
+
+// The tentpole: both backends over the whole corpus, each held to the
+// Theorem 1 contract it states itself (verify.cpp oracles against its own
+// phi_guarantee, inter-component edges <= εm, bit-identical outputs at
+// 1/2/8 scheduler threads, rounds within the charged budget).  A failure
+// message names the graph and every violated clause.
+TEST(BackendDiff, FullCorpusHoldsTheTheorem1Contract) {
+  for (const auto& entry : corpus::default_corpus()) {
+    SCOPED_TRACE(entry.name);
+    const Graph g = entry.make();
+    const CrossCheckReport report =
+        cross_check_backends(g, harness_params(), /*seed=*/5);
+    EXPECT_TRUE(report.ok()) << entry.name << ": " << report.summary();
+  }
+}
+
+// Differential agreement on planted structure: the SBM's four communities
+// are separated by both backends (they need not agree on the exact
+// partition -- they run different machinery -- but neither may merge the
+// planted blocks away or shatter them into noise).
+TEST(BackendDiff, BothBackendsSeparateThePlantedBlocks) {
+  Graph g;
+  for (const auto& entry : corpus::default_corpus()) {
+    if (entry.family == "sbm") g = entry.make();
+  }
+  ASSERT_GT(g.num_vertices(), 0u);
+  const CrossCheckReport report =
+      cross_check_backends(g, harness_params(), /*seed=*/5);
+  ASSERT_TRUE(report.ok()) << report.summary();
+  for (const auto* obs : {&report.nibble, &report.simple_parallel}) {
+    EXPECT_GE(obs->result.num_components, 4u) << to_string(obs->backend);
+    EXPECT_LE(obs->result.num_components, 16u) << to_string(obs->backend);
+  }
+}
+
+// What the new backend adds beyond a second opinion: its εm budget is
+// enforced at the merge barrier, so even a hostile (epsilon, graph) pair
+// -- a grid at ε = 0.02, where recursive bisection wants far more than
+// ⌊ε·|E|⌋ removals -- stays within budget unconditionally, trading
+// conductance quality (phi_guarantee drops to the schedule floor) instead
+// of breaking the cut bound.
+TEST(BackendDiff, SimpleParallelEnforcesTheCutBudgetUnconditionally) {
+  const Graph g = gen::grid(12, 12);
+  DecompositionParams prm = harness_params();
+  prm.epsilon = 0.02;
+  prm.backend = DecompositionBackend::kSimpleParallel;
+  Rng rng(5);
+  congest::RoundLedger ledger;
+  const DecompositionResult res = expander_decomposition(g, prm, rng, ledger);
+  const auto budget =
+      static_cast<std::uint64_t>(prm.epsilon *
+                                 static_cast<double>(g.num_edges()));
+  EXPECT_LE(res.total_removed(), budget);
+  EXPECT_GT(res.guard_finalized, 0u);
+  const VerificationReport report =
+      verify_decomposition(g, res, prm.epsilon, res.phi_guarantee);
+  EXPECT_TRUE(report.ok()) << "cut_fraction=" << report.cut_fraction
+                           << " min_phi=" << report.min_conductance_lower;
+}
+
+// The scheduled accounting is never charged more than the sequential sum,
+// and the budget formula itself stays meaningfully above real runs (a
+// budget that just barely passes would page someone on every perf wiggle).
+TEST(BackendDiff, RoundAccountingStaysWithinBudgetWithHeadroom) {
+  const Graph g = corpus::topology("expander");
+  const CrossCheckReport report =
+      cross_check_backends(g, harness_params(), /*seed=*/5);
+  ASSERT_TRUE(report.ok()) << report.summary();
+  const std::uint64_t budget =
+      theorem1_round_budget(g.num_vertices(), g.num_edges());
+  for (const auto* obs : {&report.nibble, &report.simple_parallel}) {
+    EXPECT_LE(obs->result.rounds, budget / 4) << to_string(obs->backend);
+    EXPECT_LE(obs->scheduled_rounds, obs->result.rounds)
+        << to_string(obs->backend);
+  }
+}
+
+// The fingerprint the golden suite pins is sensitive to every field it
+// claims to cover: a single flipped label, overlay bit, or removal count
+// changes it.
+TEST(BackendDiff, FingerprintIsSensitiveToEveryPinnedField) {
+  const Graph g = corpus::topology("expander");
+  DecompositionParams prm = harness_params();
+  prm.backend = DecompositionBackend::kSimpleParallel;
+  Rng rng(5);
+  congest::RoundLedger ledger;
+  const DecompositionResult base = expander_decomposition(g, prm, rng, ledger);
+  const std::uint64_t fp = partition_fingerprint(base);
+
+  DecompositionResult mutated = base;
+  mutated.component[0] ^= 1u;
+  EXPECT_NE(partition_fingerprint(mutated), fp);
+  mutated = base;
+  mutated.removed_edge[0] = !mutated.removed_edge[0];
+  EXPECT_NE(partition_fingerprint(mutated), fp);
+  mutated = base;
+  ++mutated.removed_by[static_cast<int>(RemoveReason::kSparseCut)];
+  EXPECT_NE(partition_fingerprint(mutated), fp);
+  mutated = base;
+  ++mutated.num_components;
+  EXPECT_NE(partition_fingerprint(mutated), fp);
+}
+
+}  // namespace
+}  // namespace xd::expander

@@ -13,7 +13,7 @@
 #include "congest/network.hpp"
 #include "congest/scheduler.hpp"
 #include "congest/shard_plane.hpp"
-#include "graph/generators.hpp"
+#include "corpus.hpp"
 #include "serve/artifact.hpp"
 #include "serve/service.hpp"
 #include "util/check.hpp"
@@ -248,8 +248,7 @@ RunResult run_chatter(const Graph& g, int shards, int threads) {
 // bit-identical to the fault-free shared-arena run.
 TEST(ChaosGrid, RecoverableFaultsAreBitIdentical) {
   FaultGuard guard;
-  Rng rng(19);
-  const Graph g = gen::random_regular(96, 4, rng);
+  const Graph g = corpus::topology("expander");
   const RunResult baseline = run_chatter(g, /*shards=*/1, /*threads=*/1);
   ASSERT_GT(baseline.messages, 0u);
 
@@ -286,8 +285,7 @@ TEST(ChaosGrid, RecoverableFaultsAreBitIdentical) {
 // re-request, then a loud failure, never a hang or silent loss.
 TEST(ChaosGrid, UnrecoverableDropIsATypedError) {
   FaultGuard guard;
-  Rng rng(19);
-  const Graph g = gen::random_regular(96, 4, rng);
+  const Graph g = corpus::topology("expander");
   FaultPlane::instance().configure("shard.drop:every=1");
   EXPECT_THROW(run_chatter(g, 4, 2), CheckError);
 }
@@ -295,8 +293,7 @@ TEST(ChaosGrid, UnrecoverableDropIsATypedError) {
 // Transport counters see the injected faults and the recoveries.
 TEST(ChaosGrid, WireStatsCountFaultsAndRetransmits) {
   FaultGuard guard;
-  Rng rng(19);
-  const Graph g = gen::random_regular(96, 4, rng);
+  const Graph g = corpus::topology("expander");
   FaultPlane::instance().configure("seed=11,shard.drop:every=3");
   RoundLedger ledger;
   Network net(g, ledger, /*seed=*/7);
@@ -315,8 +312,7 @@ TEST(ChaosGrid, WireStatsCountFaultsAndRetransmits) {
 // --------------------------------------------------------- artifact loader
 
 serve::PreparedArtifact small_artifact() {
-  Rng rng(31);
-  const Graph g = gen::gnp(60, 0.2, rng);
+  const Graph g = corpus::topology("gnp-small");
   serve::PrepareParams prm;
   prm.enumerate.backend = triangle::RouterBackend::kTree;
   return serve::prepare_artifact(g, prm);

@@ -9,6 +9,7 @@
 
 #include "congest/ledger.hpp"
 #include "congest/network.hpp"
+#include "corpus.hpp"
 #include "graph/generators.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -16,17 +17,11 @@
 namespace xd::congest {
 namespace {
 
+using corpus::topology;
+
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   return h;
-}
-
-Graph topology(const std::string& name) {
-  Rng rng(19);
-  if (name == "expander") return gen::random_regular(96, 4, rng);
-  if (name == "dumbbell") return gen::barbell(20);
-  if (name == "star") return gen::star(49);
-  XD_CHECK_MSG(false, "unknown topology " << name);
 }
 
 /// A deliberately messy multi-round program: descending-slot sends (defeats
@@ -110,8 +105,7 @@ TEST(ShardConformance, GridMatchesSharedArenaOnAllTopologies) {
 // must match the shared arena, including same-slot re-send ties staged out
 // of order.
 TEST(ShardConformance, DirectExchangeMatchesSharedArena) {
-  Rng rng(5);
-  const Graph g = gen::gnp(80, 0.1, rng);
+  const Graph g = topology("gnp-medium");
   const auto stage_all = [&](Network& net) {
     for (VertexId v = g.num_vertices(); v-- > 0;) {
       const auto nbrs = g.neighbors(v);

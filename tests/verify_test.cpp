@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "expander/verify.hpp"
@@ -111,6 +112,72 @@ TEST(Verifier, SingletonComponentsAreVacuouslyExpanding) {
   // Singleton (vertex 2) must not drag the min conductance down.
   ASSERT_EQ(report.components.size(), 2u);
   EXPECT_TRUE(std::isinf(report.components[1].conductance_lower));
+}
+
+TEST(Verifier, ManyComponentVerificationStaysLinear) {
+  // Regression guard for the verifier's single-pass component extraction:
+  // the old path rescanned every vertex once per component, which at 50k
+  // components over 100k vertices is ~5e9 label comparisons before a
+  // single oracle runs.  The rewrite does one global sweep, so this must
+  // finish comfortably inside the ceiling -- and build exactly one
+  // subgraph per non-vacuous component, no more.
+  constexpr std::uint32_t kPairs = 50000;
+  GraphBuilder b(2 * kPairs);
+  std::vector<std::uint32_t> comp(2 * kPairs);
+  for (std::uint32_t c = 0; c < kPairs; ++c) {
+    b.add_edge(2 * c, 2 * c + 1);
+    comp[2 * c] = c;
+    comp[2 * c + 1] = c;
+  }
+  const Graph g = b.build();
+  const std::uint64_t builds_before = GraphBuilder::total_builds();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = verify_decomposition(g, fake(g, comp, kPairs), 1.0, 0.1);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.components.size(), kPairs);
+  EXPECT_EQ(GraphBuilder::total_builds() - builds_before, kPairs);
+  // Generous even under the sanitizer jobs; the quadratic path blows way
+  // past it.
+  EXPECT_LT(wall_s, 60.0) << "verification took " << wall_s << "s";
+}
+
+TEST(Verifier, BenchScaleGraphVerifiesWithinBudget) {
+  // The 100k-vertex serving-bench graph (bench_serve's multi_cluster
+  // shape: disjoint G(250, 8/250) blocks) with the natural block
+  // partition.  Sparse random blocks can contain isolated vertices, so
+  // conductance is checked vacuously (phi = 0) -- this test budgets the
+  // verifier's wall time at bench scale, it does not grade the partition.
+  constexpr std::size_t kBlock = 250;
+  constexpr std::size_t kBlocks = 400;  // 100k vertices
+  Rng rng(23);
+  GraphBuilder b(kBlock * kBlocks);
+  std::vector<std::uint32_t> comp(kBlock * kBlocks);
+  const double p = 8.0 / static_cast<double>(kBlock);
+  for (std::size_t c = 0; c < kBlocks; ++c) {
+    const auto base = static_cast<VertexId>(c * kBlock);
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      comp[base + i] = static_cast<std::uint32_t>(c);
+      for (std::size_t j = i + 1; j < kBlock; ++j) {
+        if (rng.next_bool(p)) {
+          b.add_edge(base + static_cast<VertexId>(i),
+                     base + static_cast<VertexId>(j));
+        }
+      }
+    }
+  }
+  const Graph g = b.build();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = verify_decomposition(g, fake(g, comp, kBlocks), 1.0, 0.0);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(report.is_partition);
+  EXPECT_TRUE(report.cut_within_epsilon);
+  EXPECT_EQ(report.inter_component_edges, 0u);
+  EXPECT_LT(wall_s, 60.0) << "verification took " << wall_s << "s";
 }
 
 }  // namespace
